@@ -1,0 +1,57 @@
+"""Ablation — compression level vs. traffic on a mixed workload.
+
+DESIGN.md tradeoff: "determining the best data compression level to
+achieve a good balance between traffic, storage, and computation" (§7).
+Measures wire bytes and (real) compression CPU time per level on a mix of
+text and incompressible content.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import emit, run_once
+
+from repro.compress import (
+    HIGH_COMPRESSION,
+    LOW_COMPRESSION,
+    MODERATE_COMPRESSION,
+    NO_COMPRESSION,
+)
+from repro.content import random_content, text_content
+from repro.reporting import render_table
+from repro.units import MB, fmt_size
+
+POLICIES = [NO_COMPRESSION, LOW_COMPRESSION, MODERATE_COMPRESSION,
+            HIGH_COMPRESSION]
+
+
+def _sweep():
+    workload = [text_content(2 * MB, seed=1), random_content(2 * MB, seed=2),
+                text_content(1 * MB, seed=3)]
+    total = sum(c.size for c in workload)
+    rows = []
+    for policy in POLICIES:
+        start = time.perf_counter()
+        wire = sum(policy.wire_size(content) for content in workload)
+        elapsed = time.perf_counter() - start
+        rows.append((policy.level.value, total, wire, elapsed))
+    return rows
+
+
+def test_compression_level_sweep(benchmark):
+    rows_data = run_once(benchmark, _sweep)
+
+    rows = [[level, fmt_size(total), fmt_size(wire),
+             f"{wire / total:.3f}", f"{elapsed * 1000:.0f} ms"]
+            for level, total, wire, elapsed in rows_data]
+    emit("ablation_compression_levels",
+         render_table(["Level", "Input", "Wire", "Ratio", "CPU"],
+                      rows, title="Ablation — compression level tradeoff"))
+
+    wires = [wire for _, _, wire, _ in rows_data]
+    assert wires == sorted(wires, reverse=True)  # none ≥ low ≥ moderate ≥ high
+    # Higher levels cost more CPU than LOW on this workload.
+    cpu = {level: elapsed for level, _, _, elapsed in rows_data}
+    assert cpu["high"] > cpu["low"]

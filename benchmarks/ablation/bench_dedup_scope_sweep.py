@@ -1,0 +1,72 @@
+"""Ablation — dedup granularity × scope on the trace workload.
+
+Quantifies §5.2's conclusion from a different angle: how much upload
+traffic each dedup configuration would have saved across the whole trace,
+had every file been uploaded once in trace order.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import emit, run_once, trace_scale
+
+from repro.reporting import render_table
+from repro.trace import generate_trace
+from repro.units import KB, MB, fmt_size
+
+CONFIGS = [
+    ("none", None, None),
+    ("full-file / same-user", None, "user"),
+    ("full-file / cross-user", None, "global"),
+    ("4 MB blocks / same-user", 4 * MB, "user"),
+    ("4 MB blocks / cross-user", 4 * MB, "global"),
+    ("512 KB blocks / cross-user", 512 * KB, "global"),
+]
+
+
+def _uploaded_bytes(trace, block_size, scope):
+    """Bytes shipped if every file uploads once under this dedup config."""
+    seen = set()
+    total = 0
+    for record in trace:
+        keys = ([record.full_file_key()] if block_size is None
+                else list(record.block_keys(block_size)))
+        for key in keys:
+            length = record.size if block_size is None else key[1]
+            scoped = key if scope == "global" else (record.user, key)
+            if scope is None or scoped in seen:
+                if scope is None:
+                    total += length
+                continue
+            seen.add(scoped)
+            total += length
+    return total
+
+
+def _sweep():
+    trace = generate_trace(scale=min(trace_scale(), 0.3), seed=42)
+    raw = trace.total_bytes()
+    return raw, [(name, _uploaded_bytes(trace, block, scope))
+                 for name, block, scope in CONFIGS]
+
+
+def test_dedup_scope_sweep(benchmark):
+    raw, rows_data = run_once(benchmark, _sweep)
+
+    rows = [[name, fmt_size(uploaded), f"{1 - uploaded / raw:.1%}"]
+            for name, uploaded in rows_data]
+    emit("ablation_dedup_scope",
+         render_table(["Config", "Uploaded", "Saved"], rows,
+                      title="Ablation — dedup granularity × scope "
+                            f"(trace bytes: {fmt_size(raw)})"))
+
+    uploaded = dict(rows_data)
+    assert uploaded["none"] == raw
+    # Cross-user saves more than same-user; blocks more than full-file;
+    # but block-over-full-file superiority is small (§5.2's conclusion).
+    assert uploaded["full-file / cross-user"] < uploaded["full-file / same-user"]
+    assert uploaded["4 MB blocks / cross-user"] <= uploaded["full-file / cross-user"]
+    full_saving = 1 - uploaded["full-file / cross-user"] / raw
+    block_saving = 1 - uploaded["512 KB blocks / cross-user"] / raw
+    assert block_saving - full_saving < 0.10

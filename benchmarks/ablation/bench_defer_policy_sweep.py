@@ -1,0 +1,68 @@
+"""Ablation — defer policy shoot-out on the appending workload.
+
+Compares no defer, fixed deferments (sweep of T), the scan-interval
+batcher, the UDS byte-counter baseline [36], and the paper's ASD, on a
+Google-Drive-class full-file client, across modification periods.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import emit, run_once
+
+from repro.client import (
+    AccessMethod,
+    AdaptiveSyncDefer,
+    ByteCounterDefer,
+    FixedDefer,
+    NoDefer,
+    service_profile,
+)
+from repro.client.defer import ScanIntervalDefer
+from repro.core import run_appending
+from repro.reporting import render_table
+from repro.units import KB
+
+POLICIES = {
+    "none": NoDefer,
+    "fixed(2s)": lambda: FixedDefer(2.0),
+    "fixed(4.2s)": lambda: FixedDefer(4.2),
+    "fixed(10s)": lambda: FixedDefer(10.0),
+    "scan(7s)": lambda: ScanIntervalDefer(7.0),
+    "uds(256K)": lambda: ByteCounterDefer(256 * KB, 10.0),
+    "asd": AdaptiveSyncDefer,
+}
+XS = (1, 3, 6, 12)
+TOTAL = 256 * KB
+
+
+def _sweep():
+    base = service_profile("GoogleDrive", AccessMethod.PC)
+    table = {}
+    for name, factory in POLICIES.items():
+        profile = base.with_defer(factory)
+        table[name] = [
+            run_appending("GoogleDrive", float(x), total=TOTAL,
+                          profile=profile).tue
+            for x in XS
+        ]
+    return table
+
+
+def test_defer_policy_sweep(benchmark):
+    table = run_once(benchmark, _sweep)
+
+    rows = [[name] + [f"{tue:.2f}" for tue in tues]
+            for name, tues in table.items()]
+    emit("ablation_defer_policies",
+         render_table(["Policy"] + [f"X={x}" for x in XS], rows,
+                      title="Ablation — defer policies on X KB/X s appends (TUE)"))
+
+    # ASD is the only policy ≈1 across every period (the paper's claim).
+    assert all(tue < 2.0 for tue in table["asd"])
+    for name in ("none", "fixed(2s)", "fixed(4.2s)", "fixed(10s)"):
+        assert any(tue > 5.0 for tue in table[name]), name
+    # Every fixed T fails once X > T.
+    assert table["fixed(4.2s)"][3] > 5.0   # X=12 > 4.2
+    assert table["fixed(10s)"][3] > 5.0    # X=12 > 10

@@ -1,0 +1,53 @@
+"""Ablation — IDS sync granularity (rsync block size) sweep.
+
+DESIGN.md tradeoff: finer blocks ship less data per one-byte edit but cost
+more signature/index work; the paper estimates Dropbox at ~10 KB.  This
+sweep quantifies the traffic side of that tradeoff for a one-byte edit and
+for a small append on a 1 MB file.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import emit, run_once
+
+from repro.content import random_content
+from repro.delta import diff_stats
+from repro.reporting import render_table
+from repro.units import KB, MB, fmt_size
+
+BLOCKS = (1 * KB, 4 * KB, 10 * KB, 32 * KB, 128 * KB, 512 * KB)
+
+
+def _sweep():
+    base = random_content(1 * MB, seed=1)
+    edited = base.modify_random_byte(seed=2)
+    appended = base.append(random_content(4 * KB, seed=3))
+    rows = []
+    for block in BLOCKS:
+        edit = diff_stats(base.data, edited.data, block_size=block)
+        append = diff_stats(base.data, appended.data, block_size=block)
+        rows.append((block, edit, append))
+    return rows
+
+
+def test_delta_block_sweep(benchmark):
+    rows_data = run_once(benchmark, _sweep)
+
+    rows = [
+        [fmt_size(block),
+         fmt_size(edit.delta_wire_bytes), fmt_size(edit.signature_wire_bytes),
+         fmt_size(append.delta_wire_bytes)]
+        for block, edit, append in rows_data
+    ]
+    emit("ablation_delta_block",
+         render_table(["Block", "1-byte edit delta", "Signature size",
+                       "4 KB append delta"], rows,
+                      title="Ablation — rsync block size vs. delta traffic"))
+
+    # Edit-delta grows with block size; signature shrinks: a real tradeoff.
+    edit_wires = [edit.delta_wire_bytes for _, edit, _ in rows_data]
+    sig_wires = [edit.signature_wire_bytes for _, edit, _ in rows_data]
+    assert edit_wires == sorted(edit_wires)
+    assert sig_wires == sorted(sig_wires, reverse=True)

@@ -1,0 +1,59 @@
+"""Ablation — version-history retention vs. storage cost (§7).
+
+Fake deletion and version rollback (§4.2) are free on the wire but not on
+disk: every retained version holds its chunks live.  This bench sweeps the
+retention window on an edit-heavy workload and reports physical storage —
+the provider-side cost of the recovery feature.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import emit, run_once
+
+from repro.client import AccessMethod, SyncSession
+from repro.content import random_content
+from repro.reporting import render_table
+from repro.units import KB, MB, fmt_size
+
+VERSIONS = 12
+FILE_SIZE = 256 * KB
+RETENTIONS = (1, 3, 6, None)  # None = keep everything (the §4.2 default)
+
+
+def _sweep():
+    rows = []
+    for keep in RETENTIONS:
+        session = SyncSession("Box", AccessMethod.PC)
+        session.create_file("doc.bin", random_content(FILE_SIZE, seed=1))
+        session.run_until_idle()
+        for index in range(VERSIONS - 1):
+            session.write_file("doc.bin",
+                               random_content(FILE_SIZE, seed=2 + index))
+            session.run_until_idle()
+        server = session.server
+        if keep is not None:
+            server.purge_history("user1", "doc.bin", keep_last=keep)
+        rows.append((keep, server.objects.stored_bytes,
+                     len(server.metadata.get_entry("user1", "doc.bin").versions)))
+    return rows
+
+
+def test_history_retention(benchmark):
+    rows_data = run_once(benchmark, _sweep)
+
+    rows = [[str(keep) if keep else "all", str(versions),
+             fmt_size(stored)]
+            for keep, stored, versions in rows_data]
+    emit("ablation_history_retention",
+         render_table(["Versions kept", "Versions held", "Physical storage"],
+                      rows,
+                      title=f"History retention on {VERSIONS} rewrites of a "
+                            f"{fmt_size(FILE_SIZE)} file"))
+
+    stored = {keep: bytes_ for keep, bytes_, _ in rows_data}
+    # Keeping everything costs ~VERSIONS× the file; keeping 1 costs ~1×.
+    assert stored[None] > (VERSIONS - 1) * FILE_SIZE
+    assert stored[1] < 1.5 * FILE_SIZE
+    assert stored[1] < stored[3] < stored[6] < stored[None]

@@ -1,0 +1,63 @@
+"""Ablation — the §7 cost vectors: traffic vs. CPU vs. storage vs. REST ops.
+
+"Incremental synchronization is a double-edge sword: it effectively saves
+traffic and storage ... but it also puts more computational burden on both
+service providers and end users" (§7).  This bench prints the full cost
+vector of each service on a modification-heavy workload.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import emit, run_once
+
+from repro.client import AccessMethod, service_profile
+from repro.content import random_content, text_content
+from repro.core import compare_designs
+from repro.reporting import render_table
+from repro.units import KB, MB, fmt_size
+
+SERVICES = ("GoogleDrive", "OneDrive", "Dropbox", "Box", "UbuntuOne",
+            "SugarSync")
+
+
+def workload(session):
+    """Mixed: compressible + incompressible creation, then ten edits."""
+    session.create_file("doc.txt", text_content(512 * KB, seed=1))
+    session.create_file("img.jpg", random_content(512 * KB, seed=2))
+    session.run_until_idle()
+    for index in range(10):
+        session.modify_random_byte("doc.txt", seed=10 + index)
+        session.run_until_idle()
+    return 1 * MB + 10
+
+
+def _compare():
+    profiles = [service_profile(name, AccessMethod.PC) for name in SERVICES]
+    return compare_designs(profiles, workload)
+
+
+def test_tradeoff_cost_vectors(benchmark):
+    reports = run_once(benchmark, _compare)
+
+    rows = [
+        [report.profile_name, fmt_size(report.traffic_bytes),
+         f"{report.tue:.2f}", fmt_size(report.stored_bytes),
+         str(report.rest_operations),
+         f"{report.client_cpu_seconds:.2f}",
+         f"{report.server_cpu_seconds:.2f}"]
+        for report in reports
+    ]
+    emit("ablation_tradeoffs",
+         render_table(
+             ["Design", "Traffic", "TUE", "Stored", "REST ops",
+              "Client CPU (s)", "Server CPU (s)"],
+             rows, title="§7 — cost vectors on a modification-heavy workload"))
+
+    by_name = {report.profile_name: report for report in reports}
+    ids = by_name["Dropbox/pc"]
+    full = by_name["Box/pc"]
+    # The double-edged sword, quantified.
+    assert ids.traffic_bytes < full.traffic_bytes / 3
+    assert ids.rest_operations > full.rest_operations

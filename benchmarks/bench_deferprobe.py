@@ -1,0 +1,47 @@
+"""§6.1 — black-box inference of the fixed sync deferments.
+
+Paper: T_GoogleDrive ≈ 4.2 s, T_OneDrive ≈ 10.5 s, T_SugarSync ≈ 6 s,
+found by sweeping integer X then refining with fractional periods.
+"""
+
+from conftest import emit, run_once
+
+from repro.core import infer_sync_deferment
+from repro.reporting import render_table
+
+EXPECTED = {
+    "GoogleDrive": 4.2,
+    "OneDrive": 10.5,
+    "SugarSync": 6.0,
+    "Dropbox": None,
+    "Box": None,
+    "UbuntuOne": None,
+}
+
+
+def _probe_all():
+    return {service: infer_sync_deferment(service) for service in EXPECTED}
+
+
+def test_defer_probe(benchmark):
+    results = run_once(benchmark, _probe_all)
+
+    rows = []
+    for service, result in results.items():
+        measured = "none" if result.deferment is None \
+            else f"{result.deferment:.2f} s"
+        paper = "none" if EXPECTED[service] is None \
+            else f"{EXPECTED[service]:.1f} s"
+        rows.append([service, measured, paper,
+                     str(len(result.samples))])
+    emit("defer_probe",
+         render_table(["Service", "Inferred T", "Paper T", "Probe runs"],
+                      rows, title="§6.1 — sync deferment inference"))
+
+    for service, expected in EXPECTED.items():
+        inferred = results[service].deferment
+        if expected is None:
+            assert inferred is None, service
+        else:
+            assert inferred is not None, service
+            assert abs(inferred - expected) < 0.25, (service, inferred)

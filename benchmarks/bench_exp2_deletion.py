@@ -1,0 +1,36 @@
+"""Experiment 2 — file deletion traffic is negligible.
+
+Paper: "deletion of a file usually generates negligible (< 100 KB) sync
+traffic, regardless of the cloud storage service, file size, or access
+method" — because deletion is an attribute change (fake deletion).
+"""
+
+from conftest import emit, run_once
+
+from repro.core import experiment2_deletion
+from repro.core.experiments import ALL_ACCESS
+from repro.reporting import render_table, size_cell
+from repro.units import KB, MB, fmt_size
+
+SIZES = (1 * KB, 1 * MB, 10 * MB)
+
+
+def test_exp2_deletion(benchmark):
+    rows_data = run_once(benchmark, experiment2_deletion,
+                         access_methods=ALL_ACCESS, sizes=SIZES)
+
+    by_key = {(r.service, r.access, r.size): r for r in rows_data}
+    services = sorted({r.service for r in rows_data})
+    rows = []
+    for service in services:
+        for access in ALL_ACCESS:
+            rows.append([service, access.value] + [
+                size_cell(by_key[(service, access, size)].deletion_traffic)
+                for size in SIZES
+            ])
+    emit("exp2_deletion",
+         render_table(["Service", "Access"] + [fmt_size(s) for s in SIZES],
+                      rows, title="Experiment 2 — deletion sync traffic"))
+
+    for row in rows_data:
+        assert row.deletion_traffic < 100 * KB, row

@@ -1,0 +1,45 @@
+"""Figure 2 — CDFs of original and compressed file size in the trace.
+
+Paper: original max 2.0 GB / mean 962 KB / median 7.5 KB; compressed max
+1.97 GB / mean 732 KB / median 3.2 KB; the majority of files are small.
+"""
+
+from conftest import emit, run_once, trace_scale
+
+from repro.reporting import render_table
+from repro.trace import generate_trace, size_cdf, summary_stats
+from repro.units import GB, KB, MB, fmt_size
+
+GRID = (1 * KB, 10 * KB, 100 * KB, 1 * MB, 10 * MB, 100 * MB, 1 * GB, 2 * GB)
+
+
+def test_fig2_size_cdf(benchmark):
+    trace = run_once(benchmark, generate_trace, scale=trace_scale(), seed=42)
+
+    original = dict(size_cdf(trace, points=GRID))
+    compressed = dict(size_cdf(trace, compressed=True, points=GRID))
+    rows = [
+        [fmt_size(size), f"{original[size]:.3f}", f"{compressed[size]:.3f}"]
+        for size in GRID
+    ]
+    emit("fig2_size_cdf",
+         render_table(["Size", "P[original ≤ s]", "P[compressed ≤ s]"], rows,
+                      title="Figure 2 — file size CDFs"))
+
+    stats = summary_stats(trace)
+    emit("fig2_summary", "\n".join([
+        f"files: {stats.file_count}",
+        f"original : mean {fmt_size(stats.mean_size)}, "
+        f"median {fmt_size(stats.median_size)}, max {fmt_size(stats.max_size)}",
+        f"compressed: mean {fmt_size(stats.mean_compressed)}, "
+        f"median {fmt_size(stats.median_compressed)}, "
+        f"max {fmt_size(stats.max_compressed)}",
+    ]))
+
+    assert 0.5 * 962 * KB < stats.mean_size < 1.5 * 962 * KB
+    assert 0.5 * 7.5 * KB < stats.median_size < 1.6 * 7.5 * KB
+    assert stats.max_size <= 2 * GB
+    assert stats.median_compressed < stats.median_size
+    # Compressed CDF dominates the original's (compression shrinks files).
+    for size in GRID:
+        assert compressed[size] >= original[size] - 1e-9

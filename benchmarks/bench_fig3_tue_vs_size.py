@@ -1,0 +1,37 @@
+"""Figure 3 — TUE vs. size of the created file (PC clients).
+
+Paper: TUE up to ~40,000 for tiny files, dropping towards 1.0 past 1 MB;
+a "moderate size" is ≥100 KB and ideally ≥1 MB.
+"""
+
+from conftest import emit, run_once
+
+from repro.core import experiment1_tue_curve
+from repro.reporting import render_table
+from repro.units import KB, MB, fmt_size
+
+SIZES = (1, 10, 100, 1 * KB, 10 * KB, 100 * KB, 1 * MB, 10 * MB)
+
+
+def test_fig3_tue_vs_size(benchmark):
+    curves = run_once(benchmark, experiment1_tue_curve, sizes=SIZES)
+
+    rows = []
+    for size in SIZES:
+        row = [fmt_size(size)]
+        for service, points in curves.items():
+            tue = dict(points)[size]
+            row.append(f"{tue:.4g}")
+        rows.append(row)
+    emit("fig3_tue_vs_size",
+         render_table(["Size"] + list(curves), rows,
+                      title="Figure 3 — TUE vs. created-file size (PC)"))
+
+    for service, points in curves.items():
+        tues = dict(points)
+        # Paper's moderate-size guidance: ≥100 KB → small TUE; ≥1 MB → ~1.
+        assert tues[100 * KB] < 2.5, service
+        assert tues[1 * MB] < 1.5, service
+        assert tues[1] > 1000, service
+        values = [tue for _, tue in sorted(points)]
+        assert values == sorted(values, reverse=True), service

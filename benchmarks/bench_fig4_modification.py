@@ -1,0 +1,46 @@
+"""Figure 4 — sync traffic of a random one-byte modification.
+
+Paper: Dropbox and SugarSync PC clients stay flat (~50 KB / ~10 KB-granular
+IDS) while every other service — and every web/mobile client — resends the
+whole file (traffic tracks file size).
+"""
+
+from conftest import emit, run_once
+
+from repro.client import AccessMethod
+from repro.core import experiment3_modification
+from repro.reporting import render_table, size_cell
+from repro.units import KB, MB, fmt_size
+
+SIZES = (1 * KB, 10 * KB, 100 * KB, 1 * MB)
+
+
+def test_fig4_modification(benchmark):
+    cells = run_once(benchmark, experiment3_modification, sizes=SIZES)
+
+    by_key = {(c.service, c.access, c.size): c for c in cells}
+    for access in AccessMethod:
+        rows = []
+        for service in ("GoogleDrive", "OneDrive", "Dropbox", "Box",
+                        "UbuntuOne", "SugarSync"):
+            rows.append([service] + [
+                size_cell(by_key[(service, access, size)].traffic)
+                for size in SIZES
+            ])
+        emit(f"fig4_modification_{access.value}",
+             render_table(["Service"] + [fmt_size(s) for s in SIZES], rows,
+                          title=f"Figure 4 — 1-byte modification traffic "
+                                f"({access.value})"))
+
+    # IDS flatness on PC for Dropbox and SugarSync.
+    for service in ("Dropbox", "SugarSync"):
+        small = by_key[(service, AccessMethod.PC, 100 * KB)].traffic
+        large = by_key[(service, AccessMethod.PC, 1 * MB)].traffic
+        assert large < 2 * small, service
+        assert large < 300 * KB, service
+    # Full-file growth everywhere else, and for every web/mobile client.
+    for service in ("GoogleDrive", "OneDrive", "Box", "UbuntuOne"):
+        assert by_key[(service, AccessMethod.PC, 1 * MB)].traffic > 1 * MB
+    for access in (AccessMethod.WEB, AccessMethod.MOBILE):
+        for service in ("Dropbox", "SugarSync"):
+            assert by_key[(service, access, 1 * MB)].traffic > 0.9 * MB

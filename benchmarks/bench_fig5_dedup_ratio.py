@@ -1,0 +1,38 @@
+"""Figure 5 — cross-user dedup ratio vs. block size (trace-driven).
+
+Paper: the block-level curve declines gently from 128 KB to 16 MB and sits
+only trivially above the full-file point (~1.23); conclusion: full-file
+dedup is basically sufficient.
+"""
+
+from conftest import emit, run_once, trace_scale
+
+from repro.reporting import render_table
+from repro.trace import dedup_ratio_curve, generate_trace
+from repro.units import fmt_size
+
+
+def _curve():
+    trace = generate_trace(scale=trace_scale(), seed=42)
+    return dedup_ratio_curve(trace)
+
+
+def test_fig5_dedup_ratio(benchmark):
+    curve = run_once(benchmark, _curve)
+
+    rows = [
+        [fmt_size(block) if block else "Full file", f"{ratio:.3f}"]
+        for block, ratio in curve
+    ]
+    emit("fig5_dedup_ratio",
+         render_table(["Block size", "Dedup ratio"], rows,
+                      title="Figure 5 — cross-user dedup ratio vs. block size"))
+
+    ratios = [ratio for _, ratio in curve]
+    blocks, full_file = ratios[:-1], ratios[-1]
+    # Finer blocks dedup (weakly) better; full-file is the floor.
+    assert blocks == sorted(blocks, reverse=True)
+    assert all(ratio >= full_file - 1e-9 for ratio in blocks)
+    # ...but the superiority is trivial (the paper's headline for §5.2).
+    assert max(blocks) - full_file < 0.15
+    assert 1.1 < full_file < 1.4

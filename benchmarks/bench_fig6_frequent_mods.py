@@ -1,0 +1,63 @@
+"""Figure 6 — TUE of the six services under "X KB / X sec" appends.
+
+Paper: max TUE ≈ 260 (GD), 51 (OD), 144 (U1), 75 (Box), 32 (DB), 33 (SS);
+Google Drive / OneDrive / SugarSync show a TUE≈1 plateau below their fixed
+deferments (4.2 s / 10.5 s / 6 s); IDS keeps Dropbox and SugarSync far
+below the full-file services; TUE generally decreases as X grows.
+"""
+
+import os
+
+from conftest import emit, run_once
+
+from repro.core import experiment6_frequent_mods
+from repro.reporting import render_table
+from repro.units import MB
+
+XS = (1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 18, 20)
+TOTAL = 1 * MB if os.environ.get("REPRO_SCALE") == "full" else 512 * 1024
+
+SERVICES = ("GoogleDrive", "OneDrive", "Dropbox", "Box", "UbuntuOne",
+            "SugarSync")
+
+
+def _all_curves():
+    return {
+        service: experiment6_frequent_mods(service, xs=XS, total=TOTAL)
+        for service in SERVICES
+    }
+
+
+def test_fig6_frequent_mods(benchmark):
+    curves = run_once(benchmark, _all_curves)
+
+    rows = []
+    for x in XS:
+        row = [str(x)]
+        for service in SERVICES:
+            run = next(r for r in curves[service] if r.x == x)
+            row.append(f"{run.tue:.1f}")
+        rows.append(row)
+    emit("fig6_frequent_mods",
+         render_table(["X (KB & sec)"] + list(SERVICES), rows,
+                      title=f"Figure 6 — TUE under X KB/X s appends "
+                            f"(C={TOTAL // 1024} KB)"))
+
+    tue = {s: {r.x: r.tue for r in curves[s]} for s in SERVICES}
+
+    # Fixed-defer plateaus below T, spike just above (GD 4.2, OD 10.5, SS 6).
+    assert tue["GoogleDrive"][3] < 2 and tue["GoogleDrive"][5] > 20
+    assert tue["OneDrive"][8] < 2 and tue["OneDrive"][12] > 10
+    assert tue["SugarSync"][5] < 2 and tue["SugarSync"][7] > 3
+    # IDS services stay far below full-file services once every deferment
+    # has been passed (the Figure 6 ordering).
+    assert tue["Dropbox"][5] < tue["GoogleDrive"][5] / 3
+    assert tue["Dropbox"][8] < tue["Box"][8] / 3
+    assert tue["SugarSync"][12] < tue["OneDrive"][12] / 2
+    assert max(tue["SugarSync"].values()) < max(tue["Box"].values()) / 2
+    # Box and Ubuntu One decline monotonically-ish (no plateau).
+    assert tue["Box"][1] > tue["Box"][20]
+    assert tue["UbuntuOne"][1] > tue["UbuntuOne"][20]
+    # Past every deferment, TUE decreases with X for everyone.
+    for service in SERVICES:
+        assert tue[service][12] >= tue[service][20] * 0.8, service

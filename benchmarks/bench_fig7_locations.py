@@ -1,0 +1,44 @@
+"""Figure 7 — TUE at MN (20 Mbps / ~60 ms) vs. BJ (1.6 Mbps / ~340 ms).
+
+Paper: the poor network environment leads to smaller TUE under frequent
+modifications, especially at short modification periods, because syncs
+take longer and updates batch naturally.  Shown for OneDrive, Box, and
+Dropbox (GD/SS resemble OneDrive; U1 resembles Box).
+"""
+
+from conftest import emit, run_once
+
+from repro.core import experiment7_locations
+from repro.reporting import render_table
+from repro.units import KB
+
+XS = (1, 2, 3, 4, 6, 8, 12, 16, 20)
+TOTAL = 512 * KB
+SERVICES = ("OneDrive", "Box", "Dropbox")
+
+
+def _all_locations():
+    return {
+        service: experiment7_locations(service, xs=XS, total=TOTAL)
+        for service in SERVICES
+    }
+
+
+def test_fig7_locations(benchmark):
+    results = run_once(benchmark, _all_locations)
+
+    for service, rows_data in results.items():
+        rows = [[f"{x:g}", f"{mn:.1f}", f"{bj:.1f}"]
+                for x, mn, bj in rows_data]
+        emit(f"fig7_{service.lower()}",
+             render_table(["X (KB & sec)", "TUE @ MN", "TUE @ BJ"], rows,
+                          title=f"Figure 7 — {service}: MN vs. BJ"))
+
+    # BJ never exceeds MN, and is strictly lower at the shortest period
+    # for the no-defer/IDS services (the paper's headline contrast).
+    for service, rows_data in results.items():
+        for _, mn, bj in rows_data:
+            assert bj <= mn * 1.05, (service, mn, bj)
+    for service in ("Box", "Dropbox"):
+        x1 = results[service][0]
+        assert x1[2] < x1[1], service

@@ -1,0 +1,26 @@
+"""Figure 8(a) — Dropbox "1 KB/sec" TUE vs. upload bandwidth.
+
+Paper: latency fixed at ~50 ms, bandwidth tuned 1.6 → 20 Mbps; higher
+bandwidth leads to larger TUE (fast syncs leave nothing to batch).
+"""
+
+from conftest import emit, run_once
+
+from repro.core import experiment7_bandwidth
+from repro.reporting import render_series
+from repro.units import KB
+
+BANDWIDTHS = (0.4, 0.8, 1.6, 2, 4, 8, 12, 16, 20)
+
+
+def test_fig8a_bandwidth(benchmark):
+    curve = run_once(benchmark, experiment7_bandwidth,
+                     bandwidths_mbps=BANDWIDTHS, total=256 * KB)
+
+    emit("fig8a_bandwidth",
+         render_series(curve, x_label="Bandwidth (Mbps)", y_label="TUE",
+                       title='Figure 8(a) — Dropbox "1 KB/sec" TUE vs. bandwidth'))
+
+    tues = [tue for _, tue in curve]
+    assert all(a <= b + 1e-9 for a, b in zip(tues, tues[1:]))
+    assert tues[-1] > 1.3 * tues[0]

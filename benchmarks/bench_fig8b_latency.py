@@ -1,0 +1,27 @@
+"""Figure 8(b) — Dropbox "1 KB/sec" TUE vs. round-trip latency.
+
+Paper: bandwidth fixed at ~20 Mbps, RTT tuned 40 → 1000 ms; shorter
+latency leads to larger TUE.
+"""
+
+from conftest import emit, run_once
+
+from repro.core import experiment7_latency
+from repro.reporting import render_series
+from repro.units import KB
+
+RTTS = (0.040, 0.100, 0.200, 0.400, 0.600, 0.800, 1.000)
+
+
+def test_fig8b_latency(benchmark):
+    curve = run_once(benchmark, experiment7_latency, rtts=RTTS,
+                     total=256 * KB)
+
+    points = [(rtt * 1000, tue) for rtt, tue in curve]
+    emit("fig8b_latency",
+         render_series(points, x_label="RTT (ms)", y_label="TUE",
+                       title='Figure 8(b) — Dropbox "1 KB/sec" TUE vs. latency'))
+
+    tues = [tue for _, tue in curve]
+    assert all(a >= b - 1e-9 for a, b in zip(tues, tues[1:]))
+    assert tues[0] > 2 * tues[-1]

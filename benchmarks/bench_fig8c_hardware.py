@@ -1,0 +1,36 @@
+"""Figure 8(c) — Dropbox "X KB/X sec" TUE on M1 / M2 / M3.
+
+Paper: slower hardware incurs less sync traffic — the Atom netbook (M2)
+spends so long computing metadata (Condition 2) that updates batch.
+"""
+
+from conftest import emit, run_once
+
+from repro.core import experiment7_hardware
+from repro.reporting import render_table
+from repro.units import KB
+
+XS = (1, 2, 3, 4, 6, 8, 10)
+
+
+def test_fig8c_hardware(benchmark):
+    curves = run_once(benchmark, experiment7_hardware, xs=XS, total=512 * KB)
+
+    rows = []
+    for index, x in enumerate(XS):
+        rows.append([f"{x:g}"] + [f"{curves[name][index][1]:.1f}"
+                                  for name in ("M1", "M2", "M3")])
+    emit("fig8c_hardware",
+         render_table(["X (KB & sec)", "M1 (typical)", "M2 (outdated)",
+                       "M3 (SSD i7)"], rows,
+                      title='Figure 8(c) — Dropbox TUE per machine'))
+
+    # The outdated machine always at or below the typical one; the typical
+    # one at or below the advanced one; strict gap for M2 at X=1.
+    for index in range(len(XS)):
+        m1 = curves["M1"][index][1]
+        m2 = curves["M2"][index][1]
+        m3 = curves["M3"][index][1]
+        assert m2 <= m1 + 1e-9
+        assert m1 <= m3 + 1e-9
+    assert curves["M2"][0][1] < 0.8 * curves["M1"][0][1]

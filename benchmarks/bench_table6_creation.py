@@ -1,0 +1,41 @@
+"""Table 6 — sync traffic of a (compressed) file creation.
+
+Paper values (for comparison, PC client row): Google Drive 9 K / 10 K /
+1.13 M / 11.2 M; Dropbox 38 K / 40 K / 1.28 M / 12.5 M; Ubuntu One 2 K /
+3 K / 1.11 M / 11.2 M; ...
+"""
+
+from conftest import emit, run_once
+
+from repro.client import AccessMethod
+from repro.core import experiment1_creation
+from repro.core.experiments import DEFAULT_SIZES
+from repro.reporting import render_table, size_cell
+from repro.units import fmt_size
+
+
+def test_table6_creation(benchmark):
+    result = run_once(benchmark, experiment1_creation)
+
+    for access in AccessMethod:
+        rows = []
+        for service in ("GoogleDrive", "OneDrive", "Dropbox", "Box",
+                        "UbuntuOne", "SugarSync"):
+            cells = [result.get(service, access, size) for size in DEFAULT_SIZES]
+            rows.append([service] + [size_cell(cell.traffic) for cell in cells])
+        emit(
+            f"table6_{access.value}",
+            render_table(
+                ["Service"] + [fmt_size(s) for s in DEFAULT_SIZES],
+                rows,
+                title=f"Table 6 — creation sync traffic ({access.value} client)",
+            ),
+        )
+
+    # Shape assertions: the paper's qualitative claims hold.
+    for access in AccessMethod:
+        for service in ("GoogleDrive", "Dropbox", "UbuntuOne"):
+            small = result.get(service, access, 1)
+            large = result.get(service, access, DEFAULT_SIZES[-1])
+            assert small.tue > 1000
+            assert large.tue < 1.35

@@ -1,0 +1,42 @@
+"""Table 7 — total traffic for synchronizing 100 batched 1 KB creations.
+
+Paper values (PC): Google Drive 1.1 MB (11), OneDrive 1.3 MB (13),
+Dropbox 120 KB (1.2), Box 1.2 MB (12), Ubuntu One 140 KB (1.4),
+SugarSync 0.9 MB (9).  BDS adopters: Dropbox & Ubuntu One (PC),
+partially on web/mobile.
+"""
+
+from conftest import emit, run_once
+
+from repro.client import AccessMethod
+from repro.core import experiment1_batch
+from repro.reporting import render_table, size_cell
+
+
+def test_table7_bds(benchmark):
+    rows_data = run_once(benchmark, experiment1_batch)
+
+    by_key = {(r.service, r.access): r for r in rows_data}
+    rows = []
+    for service in ("GoogleDrive", "OneDrive", "Dropbox", "Box",
+                    "UbuntuOne", "SugarSync"):
+        row = [service]
+        for access in AccessMethod:
+            r = by_key[(service, access)]
+            row.append(f"{size_cell(r.traffic)} ({r.tue:.1f})")
+        rows.append(row)
+    emit("table7_bds",
+         render_table(["Service", "PC client", "Web-based", "Mobile app"],
+                      rows,
+                      title="Table 7 — 100 × 1 KB batched creations: traffic (TUE)"))
+
+    # The paper's finding: only Dropbox and Ubuntu One batch on PC.
+    pc = {s: by_key[(s, AccessMethod.PC)].tue
+          for s in ("GoogleDrive", "OneDrive", "Dropbox", "Box",
+                    "UbuntuOne", "SugarSync")}
+    assert pc["Dropbox"] < 3 and pc["UbuntuOne"] < 3
+    for other in ("GoogleDrive", "OneDrive", "Box", "SugarSync"):
+        assert pc[other] > 3 * max(pc["Dropbox"], pc["UbuntuOne"])
+    # Dropbox web/mobile batch partially: within an order of magnitude of 1.
+    assert by_key[("Dropbox", AccessMethod.WEB)].tue < 10
+    assert by_key[("Dropbox", AccessMethod.MOBILE)].tue < 10

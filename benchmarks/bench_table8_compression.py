@@ -1,0 +1,58 @@
+"""Table 8 — sync traffic of a 10-MB text file creation (UP and DN).
+
+Paper values: Dropbox PC 6.1 UP / 5.5 DN; Ubuntu One PC 5.6 / 5.3; all
+others ~10.4–12.2 (no compression).  Web uploads are never compressed;
+mobile uploads are compressed at a low level by Dropbox (8.1) and
+Ubuntu One (8.6); Ubuntu One mobile downloads are uncompressed (10.6).
+"""
+
+from conftest import emit, run_once
+
+from repro.client import AccessMethod
+from repro.core import experiment4_compression
+from repro.reporting import render_table
+from repro.units import MB
+
+SIZE = 10 * MB
+
+
+def test_table8_compression(benchmark):
+    rows_data = run_once(benchmark, experiment4_compression, size=SIZE)
+
+    by_key = {(r.service, r.access): r for r in rows_data}
+    rows = []
+    for service in ("GoogleDrive", "OneDrive", "Dropbox", "Box",
+                    "UbuntuOne", "SugarSync"):
+        row = [service]
+        for access in AccessMethod:
+            r = by_key[(service, access)]
+            row.append(f"{r.upload_traffic / MB:.1f}")
+            row.append(f"{r.download_traffic / MB:.1f}")
+        rows.append(row)
+    emit("table8_compression",
+         render_table(
+             ["Service", "PC UP", "PC DN", "Web UP", "Web DN",
+              "Mob UP", "Mob DN"],
+             rows,
+             title="Table 8 — 10-MB text file sync traffic (MB)"))
+
+    # Compressors vs non-compressors (upload, PC).
+    for service in ("Dropbox", "UbuntuOne"):
+        assert by_key[(service, AccessMethod.PC)].upload_traffic < 0.75 * SIZE
+        assert by_key[(service, AccessMethod.PC)].download_traffic < 0.65 * SIZE
+    for service in ("GoogleDrive", "OneDrive", "Box", "SugarSync"):
+        for access in AccessMethod:
+            r = by_key[(service, access)]
+            assert r.upload_traffic > SIZE
+            assert r.download_traffic > SIZE
+    # No web-upload compression anywhere.
+    for service in ("Dropbox", "UbuntuOne"):
+        assert by_key[(service, AccessMethod.WEB)].upload_traffic > SIZE
+    # Mobile upload compression is low-level: between PC and raw.
+    for service in ("Dropbox", "UbuntuOne"):
+        pc = by_key[(service, AccessMethod.PC)].upload_traffic
+        mobile = by_key[(service, AccessMethod.MOBILE)].upload_traffic
+        assert pc < mobile < SIZE
+    # Ubuntu One mobile DN uncompressed; Dropbox mobile DN compressed.
+    assert by_key[("UbuntuOne", AccessMethod.MOBILE)].download_traffic > SIZE
+    assert by_key[("Dropbox", AccessMethod.MOBILE)].download_traffic < 0.65 * SIZE

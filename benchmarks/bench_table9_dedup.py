@@ -1,0 +1,29 @@
+"""Table 9 — data deduplication granularity, inferred by Algorithm 1.
+
+Paper: Dropbox 4 MB same-user / No cross-user; Ubuntu One Full file both;
+everyone else No / No.
+"""
+
+from conftest import emit, run_once
+
+from repro.core import experiment5_dedup
+from repro.reporting import render_table
+from repro.units import MB
+
+
+def test_table9_dedup(benchmark):
+    findings = run_once(benchmark, experiment5_dedup, max_block=16 * MB)
+
+    rows = [[f.service, f.same_user, f.cross_user] for f in findings]
+    emit("table9_dedup",
+         render_table(["Service", "Same user", "Cross users"], rows,
+                      title="Table 9 — dedup granularity (Algorithm 1)"))
+
+    by_service = {f.service: f for f in findings}
+    assert by_service["Dropbox"].same_user == "4 MB"
+    assert by_service["Dropbox"].cross_user == "No"
+    assert by_service["UbuntuOne"].same_user == "Full file"
+    assert by_service["UbuntuOne"].cross_user == "Full file"
+    for service in ("GoogleDrive", "OneDrive", "Box", "SugarSync"):
+        assert by_service[service].same_user == "No"
+        assert by_service[service].cross_user == "No"

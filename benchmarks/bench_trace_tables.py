@@ -1,0 +1,65 @@
+"""Tables 2 & 3 and the trace-wide §4/§5 statistics.
+
+Paper claims reproduced here: Table 2 composition (153 users, 222,632
+files), 77 % small files (81 % by compressed size), 66 % of small files
+batchable, 84 % modified, 52 % effectively compressible, compression ratio
+1.31 (24 % traffic saving), 18.8 % duplicate bytes.
+"""
+
+from conftest import emit, run_once, trace_scale
+
+from repro.reporting import render_table
+from repro.trace import (
+    SERVICE_FILES,
+    SERVICE_USERS,
+    batchable_small_fraction,
+    compression_traffic_saving,
+    generate_trace,
+    summary_stats,
+)
+
+
+def test_trace_tables(benchmark):
+    scale = trace_scale()
+    trace = run_once(benchmark, generate_trace, scale=scale, seed=42)
+
+    users = trace.users()
+    by_service = trace.by_service()
+    rows = [
+        [service, str(users.get(service, 0)), str(len(records)),
+         str(SERVICE_USERS[service]), str(SERVICE_FILES[service])]
+        for service, records in sorted(by_service.items())
+    ]
+    emit("table2_composition",
+         render_table(
+             ["Service", "Users", "Files", "Paper users", "Paper files"],
+             rows,
+             title=f"Table 2 — trace composition (scale={scale:g})"))
+
+    stats = summary_stats(trace)
+    batchable = batchable_small_fraction(trace)
+    saving = compression_traffic_saving(trace)
+    emit("trace_statistics", render_table(
+        ["Statistic", "Reproduced", "Paper"],
+        [
+            ["small files (<100 KB)", f"{stats.small_fraction:.1%}", "77%"],
+            ["small by compressed size",
+             f"{stats.small_fraction_compressed:.1%}", "81%"],
+            ["small files batchable", f"{batchable:.1%}", "66%"],
+            ["modified ≥ once", f"{stats.modified_fraction:.1%}", "84%"],
+            ["effectively compressible",
+             f"{stats.compressible_fraction:.1%}", "52%"],
+            ["compression ratio", f"{stats.compression_ratio:.2f}", "1.31"],
+            ["traffic saved by compression", f"{saving:.1%}", "24%"],
+            ["duplicate bytes", f"{stats.duplicate_file_ratio:.1%}", "18.8%"],
+        ],
+        title="Trace-wide statistics vs. the paper"))
+
+    assert abs(stats.small_fraction - 0.77) < 0.06
+    assert abs(batchable - 0.66) < 0.10
+    assert abs(stats.modified_fraction - 0.84) < 0.03
+    assert abs(stats.compressible_fraction - 0.52) < 0.05
+    assert abs(stats.compression_ratio - 1.31) < 0.15
+    assert abs(stats.duplicate_file_ratio - 0.188) < 0.07
+    if scale == 1.0:
+        assert len(trace) == sum(SERVICE_FILES.values())

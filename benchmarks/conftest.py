@@ -1,0 +1,36 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper, prints it,
+and archives it under ``benchmarks/results/``.  Timings come from
+pytest-benchmark (single round — the experiments are deterministic
+simulations, so repetition only measures the simulator, not the system).
+
+Set ``REPRO_SCALE=full`` in the environment to run trace-driven benches at
+the paper's full 222,632-file scale (default: a 30 % twin for speed).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a deterministic experiment with exactly one execution."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table/figure and archive it as a text artifact."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def trace_scale() -> float:
+    """Trace size for trace-driven benches (REPRO_SCALE=full → 1.0)."""
+    return 1.0 if os.environ.get("REPRO_SCALE") == "full" else 0.3

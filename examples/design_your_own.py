@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Design your own service: compose the paper's recommended design choices.
+
+The paper's provider-facing guidance, assembled into one profile:
+
+* incremental data sync (rsync IDS, ~10 KB blocks)          — §4.3
+* batched data sync for small files                         — §4.1
+* moderate client-side compression, high on downloads       — §5.1
+* full-file cross-user deduplication (skip block dedup)     — §5.2
+* adaptive sync defer instead of a fixed deferment          — §6.1
+
+and benchmarked head-to-head against the six commercial services on a
+mixed workload.
+
+Run:  python examples/design_your_own.py
+"""
+
+from repro import AccessMethod, AdaptiveSyncDefer, SERVICES, SyncSession
+from repro.client import BdsMode, BdsSupport, OverheadProfile, ServiceProfile, service_profile
+from repro.cloud import DedupConfig
+from repro.compress import HIGH_COMPRESSION, MODERATE_COMPRESSION
+from repro.content import random_content, text_content
+from repro.reporting import render_table
+from repro.units import KB, MB, fmt_size
+
+PAPER_GUIDED = ServiceProfile(
+    service="PaperGuided",
+    access=AccessMethod.PC,
+    delta_block=10 * KB,
+    upload_compression=MODERATE_COMPRESSION,
+    download_compression=HIGH_COMPRESSION,
+    dedup=DedupConfig.full_file(cross_user=True),
+    storage_chunk_size=None,
+    overhead=OverheadProfile(meta_up=1200, meta_down=600, notify_down=200),
+    bds=BdsSupport(BdsMode.FULL, per_file_bytes=120),
+    defer_factory=lambda: AdaptiveSyncDefer(epsilon=0.5, t_max=20.0),
+)
+
+
+def mixed_workload(session: SyncSession) -> int:
+    """Small-file batch + big media + duplicate + frequent edits."""
+    update = 0
+    for index in range(40):                          # batched small files
+        session.create_file(f"docs/d{index}.txt",
+                            text_content(4 * KB, seed=index))
+        update += 4 * KB
+    session.run_until_idle()
+    media = random_content(4 * MB, seed=99)          # one big photo
+    session.create_file("media/photo.jpg", media)
+    update += media.size
+    session.run_until_idle()
+    session.create_file("media/copy.jpg", media)     # a duplicate
+    update += media.size
+    session.run_until_idle()
+    session.create_file("notes.md", random_content(0))
+    session.run_until_idle()
+    for index in range(60):                          # frequent small edits
+        session.append("notes.md", random_content(1 * KB, seed=500 + index))
+        session.advance(5.0)
+        update += 1 * KB
+    session.run_until_idle()
+    return update
+
+
+def main():
+    rows = []
+    entries = [(name, service_profile(name, AccessMethod.PC))
+               for name in SERVICES] + [("PaperGuided", PAPER_GUIDED)]
+    for name, profile in entries:
+        session = SyncSession(profile)
+        update = mixed_workload(session)
+        rows.append((session.total_traffic, name, update))
+    rows.sort()
+    table = [[f"{rank + 1}", name, fmt_size(traffic), f"{traffic / update:.2f}"]
+             for rank, (traffic, name, update) in enumerate(rows)]
+    print(render_table(["Rank", "Service", "Sync traffic", "TUE"], table,
+                       title="Mixed workload: commercial services vs. the "
+                             "paper-guided design"))
+    assert rows[0][1] == "PaperGuided", "the guided design should win"
+    print("\nEvery §4–§6 recommendation stacked together wins the workload.")
+
+
+if __name__ == "__main__":
+    main()

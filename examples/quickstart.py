@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: measure the TUE of basic file operations on two services.
+
+Creates a 1 MB file, edits one byte, and deletes it — on Dropbox (an
+incremental-sync client) and Google Drive (a full-file-sync client) — and
+prints the sync traffic and TUE of each step, reproducing the §4 story in
+thirty lines of API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AccessMethod, SyncSession
+from repro.content import random_content
+from repro.reporting import render_table
+from repro.units import MB, fmt_size
+
+
+def measure(service: str):
+    session = SyncSession(service, AccessMethod.PC)
+    steps = []
+
+    def step(label, action, update_bytes):
+        before = session.meter.snapshot()
+        action()
+        session.run_until_idle()
+        traffic = session.meter.since(before).total
+        steps.append([label, fmt_size(traffic), f"{traffic / update_bytes:.2f}"])
+
+    content = random_content(1 * MB, seed=1)
+    step("create 1 MB file",
+         lambda: session.create_file("report.bin", content), 1 * MB)
+    step("modify one byte",
+         lambda: session.modify_random_byte("report.bin", seed=2), 1)
+    step("delete the file",
+         lambda: session.delete_file("report.bin"), 1)
+    return steps
+
+
+def main():
+    for service in ("Dropbox", "GoogleDrive"):
+        print(render_table(["Operation", "Sync traffic", "TUE"],
+                           measure(service), title=f"\n{service} (PC client)"))
+    print("\nDropbox's incremental sync ships ~one 10 KB chunk for the edit;"
+          "\nGoogle Drive re-uploads the whole megabyte (§4.3 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Team sharing: the multi-device fan-out behind the ISP traffic asymmetry.
+
+The paper's §1 analysis of the ISP-level Dropbox trace found 2.8 MB inbound
+(client→cloud) but 5.18 MB outbound (cloud→client) per sync — because every
+upload fans out to the user's other devices and collaborators.  This example
+reproduces that asymmetry: one laptop edits a shared design document while a
+desktop and a phone mirror it, on an incremental-sync service vs. a
+full-file one.
+
+Run:  python examples/team_share.py
+"""
+
+from repro.client import AccessMethod, DeviceFleet, service_profile
+from repro.content import random_content
+from repro.reporting import render_table
+from repro.units import KB, MB, fmt_size
+
+EDITS = 20
+
+
+def run_fleet(service: str, mirrors: int = 2) -> DeviceFleet:
+    fleet = DeviceFleet(service_profile(service, AccessMethod.PC),
+                        mirror_count=mirrors)
+    fleet.primary.create_file("design.sketch", random_content(2 * MB, seed=1))
+    fleet.run_until_idle()
+    for index in range(EDITS):
+        fleet.primary.modify_random_byte("design.sketch", seed=10 + index)
+        fleet.primary.advance(30.0)
+    fleet.run_until_idle()
+    assert fleet.converged(), "mirrors must hold the final document"
+    return fleet
+
+
+def main():
+    rows = []
+    for service in ("Dropbox", "GoogleDrive"):
+        fleet = run_fleet(service)
+        up = fleet.upload_traffic
+        down = fleet.download_traffic
+        rows.append([service, fmt_size(up), fmt_size(down),
+                     f"{down / up:.2f}",
+                     str(fleet.mirrors[0].stats.delta_downloads)])
+    print(render_table(
+        ["Service", "Inbound (edit device)", "Outbound (2 mirrors)",
+         "Out/In", "Delta downloads per mirror"],
+        rows,
+        title=f"One 2 MB document, {EDITS} one-byte edits, 2 mirror devices"))
+    print("\nOutbound exceeds inbound once changes fan out — the ISP-trace "
+          "asymmetry of §1.\nDropbox's mirrors pull rsync deltas; Google "
+          "Drive's re-download the full 2 MB per edit.")
+
+
+if __name__ == "__main__":
+    main()

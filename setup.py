@@ -1,0 +1,6 @@
+"""Setup shim: enables `python setup.py develop` on environments without the
+`wheel` package (PEP 660 editable installs need bdist_wheel).  All real
+metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

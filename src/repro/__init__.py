@@ -1,0 +1,62 @@
+"""repro — reproduction of "Towards Network-level Efficiency for Cloud
+Storage Services" (Li et al., IMC 2014).
+
+The package is organised as the paper is:
+
+* :mod:`repro.core` — the TUE metric (Eq. 1), Experiments 1–7', Algorithm 1
+  (dedup-granularity inference), and the sync-deferment probe;
+* :mod:`repro.client` — the sync-client engine, the six service × three
+  access-method design-choice profiles, hardware profiles (Table 4), and the
+  defer policies including the paper's proposed ASD (Eq. 2);
+* :mod:`repro.cloud` — the RESTful back-end substrate (object store, chunk
+  mid-layer, metadata/versioning, dedup index, accounts);
+* :mod:`repro.simnet` — the simulated measurement rig (event loop, links,
+  TCP/TLS/HTTP cost model, Wireshark-style metering, network emulation);
+* :mod:`repro.delta` — a real rsync implementation (rolling checksum,
+  signatures, delta streams) powering incremental data sync;
+* :mod:`repro.compress`, :mod:`repro.chunking`, :mod:`repro.content`,
+  :mod:`repro.fsim` — compression levels, fingerprinting, deterministic
+  content, and the local sync folder;
+* :mod:`repro.trace` — the statistical twin of the paper's 153-user trace
+  plus every trace analysis the paper reports.
+
+Quick start::
+
+    from repro import SyncSession, AccessMethod
+    session = SyncSession("Dropbox", AccessMethod.PC)
+    session.create_random_file("report.bin", 1024 * 1024)
+    session.run_until_idle()
+    print(session.total_traffic, session.tue())
+"""
+
+from .client import (
+    AccessMethod,
+    AdaptiveSyncDefer,
+    ByteCounterDefer,
+    FixedDefer,
+    NoDefer,
+    SERVICES,
+    SyncClient,
+    SyncSession,
+    all_profiles,
+    machine,
+    service_profile,
+)
+from .core import tue
+from .version import __version__
+
+__all__ = [
+    "AccessMethod",
+    "AdaptiveSyncDefer",
+    "ByteCounterDefer",
+    "FixedDefer",
+    "NoDefer",
+    "SERVICES",
+    "SyncClient",
+    "SyncSession",
+    "__version__",
+    "all_profiles",
+    "machine",
+    "service_profile",
+    "tue",
+]

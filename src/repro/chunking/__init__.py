@@ -1,0 +1,13 @@
+"""Fixed-size chunking and fingerprinting.
+
+The paper divides files into blocks "in a simple and natural way, that is to
+say, by starting from the head of a file with a fixed block size" (§5.2) —
+deliberately *not* content-defined chunking.  Both the dedup index and the
+Dropbox-style chunked upload protocol build on these helpers.
+"""
+
+from .cdc import cdc_chunks, cdc_spans, shared_bytes
+from .fixed import Chunk, chunk_data, chunk_spans, fingerprint, fingerprints
+
+__all__ = ["Chunk", "cdc_chunks", "cdc_spans", "chunk_data", "chunk_spans",
+           "fingerprint", "fingerprints", "shared_bytes"]

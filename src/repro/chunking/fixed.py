@@ -1,0 +1,64 @@
+"""Head-aligned fixed-size chunker with MD5 fingerprints."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One fixed-size chunk of a file."""
+
+    index: int
+    offset: int
+    length: int
+    digest: str
+    data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.data and len(self.data) != self.length:
+            raise ValueError("chunk data length disagrees with declared length")
+
+
+def fingerprint(data: bytes) -> str:
+    """MD5 hexdigest — the fingerprint function the paper's trace records."""
+    return hashlib.md5(data).hexdigest()
+
+
+def chunk_spans(size: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """(offset, length) spans covering ``size`` bytes with fixed chunks.
+
+    An empty file still yields one empty span so it has a fingerprint.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk size must be positive")
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    if size == 0:
+        return [(0, 0)]
+    return [
+        (offset, min(chunk_size, size - offset))
+        for offset in range(0, size, chunk_size)
+    ]
+
+
+def chunk_data(data: bytes, chunk_size: int, keep_data: bool = True) -> List[Chunk]:
+    """Split ``data`` into fingerprinted chunks."""
+    chunks = []
+    for index, (offset, length) in enumerate(chunk_spans(len(data), chunk_size)):
+        piece = data[offset:offset + length]
+        chunks.append(Chunk(
+            index=index,
+            offset=offset,
+            length=length,
+            digest=fingerprint(piece),
+            data=piece if keep_data else b"",
+        ))
+    return chunks
+
+
+def fingerprints(data: bytes, chunk_size: int) -> List[str]:
+    """Just the per-chunk digests (what a dedup negotiation sends)."""
+    return [chunk.digest for chunk in chunk_data(data, chunk_size, keep_data=False)]

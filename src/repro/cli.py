@@ -1,0 +1,289 @@
+"""Command-line interface: regenerate any of the paper's results.
+
+Usage::
+
+    python -m repro list                     # what can be reproduced
+    python -m repro table6 [--access pc]     # any table/figure by name
+    python -m repro fig6 --service Dropbox
+    python -m repro probe-dedup Dropbox      # run Algorithm 1 live
+    python -m repro probe-defer GoogleDrive  # infer the sync deferment
+    python -m repro trace --scale 0.1 --out trace.zip
+    python -m repro replay --scale 0.1       # macro traffic estimate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .client import AccessMethod, SERVICES, service_profile
+from .reporting import render_series, render_table, size_cell
+from .units import KB, MB, fmt_size
+
+
+def _access(value: str) -> AccessMethod:
+    return AccessMethod(value.lower())
+
+
+def cmd_list(_args) -> int:
+    rows = [
+        ["table6", "creation sync traffic (6 services × 3 access methods)"],
+        ["table7", "batched-data-sync traffic for 100 × 1 KB files"],
+        ["table8", "compression: 10-MB text file UP/DN"],
+        ["table9", "dedup granularity via Algorithm 1"],
+        ["fig3", "TUE vs. created-file size"],
+        ["fig4", "one-byte modification traffic"],
+        ["fig6", "frequent modifications (X KB / X sec)"],
+        ["deletion", "Experiment 2: deletion traffic"],
+        ["probe-dedup", "run Algorithm 1 against one service"],
+        ["probe-defer", "infer a service's fixed sync deferment"],
+        ["trace", "generate the statistical-twin trace"],
+        ["replay", "macro trace-replay traffic estimate"],
+        ["findings", "verify every Table 5 finding live"],
+        ["upgrades", "savings from retrofitting each recommendation"],
+        ["overuse", "per-user traffic-overuse statistic ([36])"],
+    ]
+    print(render_table(["Command", "Reproduces"], rows))
+    return 0
+
+
+def cmd_table6(args) -> int:
+    from .core import experiment1_creation
+    from .core.experiments import DEFAULT_SIZES
+    result = experiment1_creation(access_methods=(args.access,))
+    rows = [
+        [service] + [size_cell(result.get(service, args.access, size).traffic)
+                     for size in DEFAULT_SIZES]
+        for service in SERVICES
+    ]
+    print(render_table(["Service"] + [fmt_size(s) for s in DEFAULT_SIZES],
+                       rows, title=f"Table 6 ({args.access.value})"))
+    return 0
+
+
+def cmd_table7(args) -> int:
+    from .core import experiment1_batch
+    rows = [
+        [row.service, size_cell(row.traffic), f"{row.tue:.1f}"]
+        for row in experiment1_batch(access_methods=(args.access,))
+    ]
+    print(render_table(["Service", "Traffic", "TUE"], rows,
+                       title=f"Table 7 ({args.access.value})"))
+    return 0
+
+
+def cmd_table8(args) -> int:
+    from .core import experiment4_compression
+    rows = [
+        [row.service, fmt_size(row.upload_traffic), fmt_size(row.download_traffic)]
+        for row in experiment4_compression(access_methods=(args.access,),
+                                           size=args.size)
+    ]
+    print(render_table(["Service", "UP", "DN"], rows,
+                       title=f"Table 8 ({args.access.value}, "
+                             f"{fmt_size(args.size)} text)"))
+    return 0
+
+
+def cmd_table9(args) -> int:
+    from .core import experiment5_dedup
+    rows = [[f.service, f.same_user, f.cross_user]
+            for f in experiment5_dedup(max_block=args.max_block)]
+    print(render_table(["Service", "Same user", "Cross users"], rows,
+                       title="Table 9"))
+    return 0
+
+
+def cmd_fig3(args) -> int:
+    from .core import experiment1_tue_curve
+    curves = experiment1_tue_curve(services=(args.service,))
+    print(render_series(curves[args.service], x_label="Size (B)",
+                        y_label="TUE", title=f"Figure 3 — {args.service}"))
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    from .core import experiment3_modification
+    cells = experiment3_modification(services=(args.service,),
+                                     access_methods=(args.access,))
+    rows = [[fmt_size(cell.size), size_cell(cell.traffic)] for cell in cells]
+    print(render_table(["File size", "Traffic"], rows,
+                       title=f"Figure 4 — {args.service} ({args.access.value})"))
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    from .core import experiment6_frequent_mods
+    runs = experiment6_frequent_mods(args.service, xs=range(1, args.max_x + 1),
+                                     total=args.total)
+    print(render_series([(run.x, run.tue) for run in runs],
+                        x_label="X (KB & sec)", y_label="TUE",
+                        title=f"Figure 6 — {args.service}"))
+    return 0
+
+
+def cmd_deletion(args) -> int:
+    from .core import experiment2_deletion
+    rows = [[row.service, fmt_size(row.size), size_cell(row.deletion_traffic)]
+            for row in experiment2_deletion(access_methods=(args.access,))]
+    print(render_table(["Service", "File size", "Deletion traffic"], rows,
+                       title="Experiment 2"))
+    return 0
+
+
+def cmd_probe_dedup(args) -> int:
+    from .core.algorithm1 import _paired_sessions, iterative_self_duplication
+    session, _ = _paired_sessions(args.service, args.access)
+    result = iterative_self_duplication(session, max_block=args.max_block)
+    print(f"{args.service}: dedup granularity = {result.label()}")
+    for probe in result.rounds:
+        print(f"  guess {fmt_size(probe.guess):>9s}: Tr1={fmt_size(probe.tr1)}, "
+              f"Tr2={fmt_size(probe.tr2)} → {probe.verdict}")
+    return 0
+
+
+def cmd_probe_defer(args) -> int:
+    from .core import infer_sync_deferment
+    result = infer_sync_deferment(args.service)
+    if result.deferment is None:
+        print(f"{args.service}: no fixed sync deferment detected")
+    else:
+        low, high = result.bracket
+        print(f"{args.service}: T ≈ {result.deferment:.2f} s "
+              f"(bracketed in [{low:.2f}, {high:.2f}])")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .trace import generate_trace, save_trace, summary_stats
+    trace = generate_trace(scale=args.scale, seed=args.seed)
+    stats = summary_stats(trace)
+    print(f"{stats.file_count} files / {stats.user_count} users — "
+          f"mean {fmt_size(stats.mean_size)}, median {fmt_size(stats.median_size)}, "
+          f"{stats.small_fraction:.0%} small, "
+          f"compression ratio {stats.compression_ratio:.2f}")
+    if args.out:
+        save_trace(trace, args.out)
+        print(f"written to {args.out}")
+    return 0
+
+
+def cmd_findings(args) -> int:
+    from .core import verify_findings
+    findings = verify_findings(trace_scale=args.scale)
+    rows = [[f.section, f.statement, f.evidence, "OK" if f.holds else "FAIL"]
+            for f in findings]
+    print(render_table(["§", "Finding", "Measured", "Verdict"], rows,
+                       title="Table 5 — major findings, verified"))
+    return 0 if all(f.holds for f in findings) else 1
+
+
+def cmd_upgrades(args) -> int:
+    from .core import UPGRADES, quantify_all
+    results = quantify_all(services=tuple(args.services))
+    by_key = {(r.service, r.upgrade): r for r in results}
+    rows = [[service] + [f"{by_key[(service, upgrade)].saving:+.0%}"
+                         for upgrade in UPGRADES]
+            for service in args.services]
+    print(render_table(["Service"] + list(UPGRADES), rows,
+                       title="Traffic saved by each §4–§6 upgrade"))
+    return 0
+
+
+def cmd_overuse(args) -> int:
+    from .trace import generate_trace, replay_trace, traffic_overuse_fraction
+    trace = generate_trace(scale=args.scale, seed=args.seed)
+    rows = []
+    for service in SERVICES:
+        report = replay_trace(trace, service_profile(service, args.access))
+        rows.append([service,
+                     f"{traffic_overuse_fraction(report):.1%}"])
+    print(render_table(
+        ["Service", "Users losing >10% of traffic to modification overuse"],
+        rows, title=f"Traffic overuse across the trace (scale {args.scale:g})"))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from .trace import generate_trace, replay_all
+    trace = generate_trace(scale=args.scale, seed=args.seed)
+    rows = [
+        [report.service, fmt_size(report.traffic_bytes), f"{report.tue:.2f}",
+         fmt_size(report.saved_by_compression), fmt_size(report.saved_by_dedup),
+         fmt_size(report.saved_by_bds), fmt_size(report.saved_by_ids)]
+        for report in replay_all(trace, access=args.access)
+    ]
+    print(render_table(
+        ["Service", "Traffic", "TUE", "Δcompress", "Δdedup", "Δbds", "Δids"],
+        rows, title=f"Macro replay (scale {args.scale:g}, "
+                    f"{len(trace)} files, {args.access.value})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Towards Network-level Efficiency for Cloud "
+                    "Storage Services' (IMC 2014)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, fn, **arguments):
+        command = sub.add_parser(name)
+        command.set_defaults(fn=fn)
+        for flag, options in arguments.items():
+            command.add_argument(flag, **options)
+        return command
+
+    add("list", cmd_list)
+    add("table6", cmd_table6,
+        **{"--access": dict(type=_access, default=AccessMethod.PC)})
+    add("table7", cmd_table7,
+        **{"--access": dict(type=_access, default=AccessMethod.PC)})
+    add("table8", cmd_table8,
+        **{"--access": dict(type=_access, default=AccessMethod.PC),
+           "--size": dict(type=int, default=10 * MB)})
+    add("table9", cmd_table9,
+        **{"--max-block": dict(type=int, default=16 * MB, dest="max_block")})
+    add("fig3", cmd_fig3,
+        **{"--service": dict(default="GoogleDrive")})
+    add("fig4", cmd_fig4,
+        **{"--service": dict(default="Dropbox"),
+           "--access": dict(type=_access, default=AccessMethod.PC)})
+    add("fig6", cmd_fig6,
+        **{"--service": dict(default="GoogleDrive"),
+           "--max-x": dict(type=int, default=10, dest="max_x"),
+           "--total": dict(type=int, default=256 * KB)})
+    add("deletion", cmd_deletion,
+        **{"--access": dict(type=_access, default=AccessMethod.PC)})
+    add("probe-dedup", cmd_probe_dedup,
+        **{"service": dict(), "--access": dict(type=_access,
+                                               default=AccessMethod.PC),
+           "--max-block": dict(type=int, default=16 * MB, dest="max_block")})
+    add("probe-defer", cmd_probe_defer, **{"service": dict()})
+    add("trace", cmd_trace,
+        **{"--scale": dict(type=float, default=0.1),
+           "--seed": dict(type=int, default=42),
+           "--out": dict(default=None)})
+    add("replay", cmd_replay,
+        **{"--scale": dict(type=float, default=0.05),
+           "--seed": dict(type=int, default=42),
+           "--access": dict(type=_access, default=AccessMethod.PC)})
+    add("findings", cmd_findings,
+        **{"--scale": dict(type=float, default=0.1)})
+    add("upgrades", cmd_upgrades,
+        **{"--services": dict(nargs="+", default=list(SERVICES))})
+    add("overuse", cmd_overuse,
+        **{"--scale": dict(type=float, default=0.03),
+           "--seed": dict(type=int, default=42),
+           "--access": dict(type=_access, default=AccessMethod.PC)})
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

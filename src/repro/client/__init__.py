@@ -1,0 +1,73 @@
+"""Sync clients: engine, profiles, hardware, defer policies, sessions."""
+
+from .baselines import BASELINES, RSYNC_LIKE, SEAFILE_LIKE, SYNCTHING_LIKE
+from .defer import (
+    AdaptiveSyncDefer,
+    ByteCounterDefer,
+    DeferPolicy,
+    DeferState,
+    FixedDefer,
+    NoDefer,
+)
+from .devices import CommitEvent, CommitFeed, DeviceFleet, MirrorDevice, attach_commit_feed
+from .engine import ClientStats, PendingChange, SyncClient, SyncRecord
+from .hardware import ALL_MACHINES, B1, B2, B3, B4, M1, M2, M3, M4, MachineProfile, machine
+from .profiles import (
+    AccessMethod,
+    BdsMode,
+    BdsSupport,
+    DROPBOX_CHUNK,
+    DROPBOX_DELTA_BLOCK,
+    GOOGLE_DRIVE_DEFER,
+    ONEDRIVE_DEFER,
+    OverheadProfile,
+    SERVICES,
+    SUGARSYNC_DELTA_BLOCK,
+    SUGARSYNC_DEFER,
+    ServiceProfile,
+    all_profiles,
+    service_profile,
+)
+from .session import SyncSession
+
+__all__ = [
+    "ALL_MACHINES",
+    "AccessMethod",
+    "AdaptiveSyncDefer",
+    "BASELINES",
+    "RSYNC_LIKE",
+    "SEAFILE_LIKE",
+    "SYNCTHING_LIKE",
+    "B1", "B2", "B3", "B4",
+    "BdsMode",
+    "BdsSupport",
+    "ByteCounterDefer",
+    "ClientStats",
+    "CommitEvent",
+    "CommitFeed",
+    "DeviceFleet",
+    "MirrorDevice",
+    "attach_commit_feed",
+    "DROPBOX_CHUNK",
+    "DROPBOX_DELTA_BLOCK",
+    "DeferPolicy",
+    "DeferState",
+    "FixedDefer",
+    "GOOGLE_DRIVE_DEFER",
+    "M1", "M2", "M3", "M4",
+    "MachineProfile",
+    "NoDefer",
+    "ONEDRIVE_DEFER",
+    "OverheadProfile",
+    "PendingChange",
+    "SERVICES",
+    "SUGARSYNC_DEFER",
+    "SUGARSYNC_DELTA_BLOCK",
+    "ServiceProfile",
+    "SyncClient",
+    "SyncRecord",
+    "SyncSession",
+    "all_profiles",
+    "machine",
+    "service_profile",
+]

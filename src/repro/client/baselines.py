@@ -1,0 +1,85 @@
+"""Open-source baseline comparators: rsync, Syncthing-like, Seafile-like.
+
+The techniques the paper's implications recommend — delta sync, batching,
+compression, dedup — all predate commercial cloud storage in open-source
+tools.  These profiles encode those tools as design-choice vectors so the
+ablation benches can race the commercial services against the systems that
+pioneered the mechanisms:
+
+* **rsync-like** — classic ``rsync -z`` over a persistent plain-TCP stream:
+  incremental sync with the rsync default ~700 B–16 KB block (we use 8 KB),
+  whole-stream compression, no dedup (pairwise tool, no global index), full
+  batching (one connection per run), no deferment.
+* **Syncthing-like** — block-exchange protocol: fixed 128 KB blocks, block
+  dedup within the folder (same-user), TLS, metadata-only renames, moderate
+  compression, immediate sync.
+* **Seafile-like** — CDC-backed content-addressed storage modelled with its
+  typical ~1 MB chunks, same-user block dedup, delta sync via chunk diff,
+  light defer for batching commits (git-like).
+"""
+
+from __future__ import annotations
+
+from ..cloud import DedupConfig
+from ..compress import HIGH_COMPRESSION, MODERATE_COMPRESSION, NO_COMPRESSION
+from ..simnet import ProtocolCosts
+from ..units import KB, MB
+from .defer import FixedDefer, NoDefer
+from .profiles import (
+    AccessMethod,
+    BdsMode,
+    BdsSupport,
+    OverheadProfile,
+    ServiceProfile,
+)
+
+#: rsync's protocol rides one plain TCP/SSH stream with tiny framing.
+_RSYNC_PROTOCOL = ProtocolCosts(
+    use_tls=False, handshake_rtts=1.0,
+    tls_handshake_up=0, tls_handshake_down=0,
+    request_header=96, response_header=64, idle_timeout=600.0)
+
+RSYNC_LIKE = ServiceProfile(
+    service="RsyncLike",
+    access=AccessMethod.PC,
+    delta_block=8 * KB,
+    upload_compression=HIGH_COMPRESSION,     # rsync -z: whole-stream zlib
+    download_compression=HIGH_COMPRESSION,
+    dedup=DedupConfig.none(),
+    storage_chunk_size=None,
+    overhead=OverheadProfile(meta_up=220, meta_down=120, notify_down=0,
+                             requests_per_sync=1, per_byte_factor=0.0),
+    bds=BdsSupport(BdsMode.FULL, per_file_bytes=64),
+    protocol=_RSYNC_PROTOCOL,
+    defer_factory=NoDefer,
+)
+
+SYNCTHING_LIKE = ServiceProfile(
+    service="SyncthingLike",
+    access=AccessMethod.PC,
+    delta_block=128 * KB,                    # BEP block size
+    upload_compression=MODERATE_COMPRESSION,  # metadata+data lz4-ish
+    download_compression=MODERATE_COMPRESSION,
+    dedup=DedupConfig.block(128 * KB),
+    storage_chunk_size=128 * KB,
+    overhead=OverheadProfile(meta_up=900, meta_down=500, notify_down=160,
+                             requests_per_sync=1, per_byte_factor=0.01),
+    bds=BdsSupport(BdsMode.FULL, per_file_bytes=110),
+    defer_factory=NoDefer,
+)
+
+SEAFILE_LIKE = ServiceProfile(
+    service="SeafileLike",
+    access=AccessMethod.PC,
+    delta_block=1 * MB,                      # CDC chunks average ~1 MB
+    upload_compression=NO_COMPRESSION,
+    download_compression=NO_COMPRESSION,
+    dedup=DedupConfig.block(1 * MB),
+    storage_chunk_size=1 * MB,
+    overhead=OverheadProfile(meta_up=1400, meta_down=700, notify_down=200,
+                             requests_per_sync=1, per_byte_factor=0.01),
+    bds=BdsSupport(BdsMode.FULL, per_file_bytes=140),
+    defer_factory=lambda: FixedDefer(2.0),   # commit batching
+)
+
+BASELINES = (RSYNC_LIKE, SYNCTHING_LIKE, SEAFILE_LIKE)

@@ -1,0 +1,533 @@
+"""The event-driven sync client engine.
+
+This is the client half of a cloud storage service.  It watches a
+:class:`~repro.fsim.SyncFolder`, batches pending changes according to the
+paper's two *natural batching* conditions (§6.2) plus the profile's defer
+policy (§6.1), and pushes updates to a :class:`~repro.cloud.CloudServer`
+over a metered :class:`~repro.simnet.Channel`:
+
+* **Condition 1** — a new modification is synced only after the previous
+  sync transaction has completely finished;
+* **Condition 2** — ... and only after the client has finished computing the
+  modified file's metadata (time modelled by the machine profile).
+
+The upload pipeline per file follows the profile's design choices:
+dedup negotiation (fingerprints first, content only for misses), rsync delta
+for IDS profiles, compression of whatever goes on the wire, and full-file or
+chunked transfer for the rest.  All bytes are metered with a payload/overhead
+split so TUE and the paper's overhead analyses fall out directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..chunking import chunk_data
+from ..cloud import CloudServer, NotFound, QuotaExceeded
+from ..content import Content
+from ..delta import compute_delta, compute_signature
+from ..fsim import FileEvent, FileOp, SyncFolder
+from ..simnet import Channel, Link, Simulator, TrafficMeter
+from .defer import DeferPolicy, DeferState
+from .hardware import M1, MachineProfile
+from .profiles import BdsMode, ServiceProfile
+
+#: Negotiation wire cost per fingerprint (hex digest + framing).
+_NEG_UP_PER_UNIT = 40
+_NEG_DOWN_PER_UNIT = 10
+_NEG_BASE_UP = 120
+_NEG_BASE_DOWN = 60
+#: Small metadata exchange for a deletion (attribute change only, §4.2).
+_DELETE_META_UP = 420
+_DELETE_META_DOWN = 260
+
+
+@dataclass
+class PendingChange:
+    """Accumulated not-yet-synced state of one path."""
+
+    path: str
+    created: bool = False
+    deleted: bool = False
+    ops: int = 0
+    update_bytes: int = 0
+    first_time: float = math.inf
+    renamed_from: Optional[str] = None
+
+
+@dataclass
+class SyncRecord:
+    """One completed sync transaction (for probes and tests)."""
+
+    start: float
+    end: float
+    paths: List[str]
+    up_payload: int
+    total_bytes: int
+    ops_batched: int
+
+
+@dataclass
+class ClientStats:
+    """Counters describing how the client behaved."""
+
+    events_seen: int = 0
+    sync_transactions: int = 0
+    files_synced: int = 0
+    deletions_synced: int = 0
+    renames_synced: int = 0
+    full_file_syncs: int = 0
+    delta_syncs: int = 0
+    dedup_skipped_units: int = 0
+    dedup_skipped_bytes: int = 0
+    failed_syncs: int = 0
+    batch_sizes: List[int] = field(default_factory=list)
+    ops_per_sync: List[int] = field(default_factory=list)
+
+
+class SyncClient:
+    """One device running a service's client, bound to a sync folder."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        folder: SyncFolder,
+        server: CloudServer,
+        profile: ServiceProfile,
+        machine: MachineProfile = M1,
+        link: Optional[Link] = None,
+        meter: Optional[TrafficMeter] = None,
+        user: str = "user",
+    ):
+        if link is None:
+            raise ValueError("a Link is required (use simnet.mn_link()/bj_link())")
+        self.sim = sim
+        self.folder = folder
+        self.server = server
+        self.profile = profile
+        self.machine = machine
+        self.link = link
+        self.meter = meter or TrafficMeter()
+        self.user = user
+        self.channel = Channel(sim, link, self.meter, profile.protocol)
+        self.defer_policy: DeferPolicy = profile.make_defer()
+
+        self._pending: Dict[str, PendingChange] = {}
+        self._defer_states: Dict[str, DeferState] = {}
+        self._shadow: Dict[str, Content] = {}
+        #: path → (shadow Content identity, its signature); recomputing the
+        #: basis signature every sync dominates frequent-modification runs.
+        self._signature_cache: Dict[str, tuple] = {}
+        self._ready_at: Dict[str, float] = {}
+        self._compute_busy_until = 0.0
+        self._uploading = False
+        self._wake = None
+
+        self.stats = ClientStats()
+        self.history: List[SyncRecord] = []
+        #: (time, message) of syncs abandoned on server-side errors.
+        self.failures: List[tuple] = []
+
+        folder.subscribe(self._on_event)
+
+    # -- event intake --------------------------------------------------------
+
+    def _on_event(self, event: FileEvent) -> None:
+        self.stats.events_seen += 1
+        now = self.sim.now
+        change = self._pending.get(event.path)
+        if change is None:
+            change = PendingChange(path=event.path)
+            self._pending[event.path] = change
+        change.ops += 1
+        change.update_bytes += event.update_bytes
+        change.first_time = min(change.first_time, now)
+        if event.op is FileOp.DELETE:
+            change.deleted = True
+        elif event.op is FileOp.RENAME:
+            change.deleted = False
+            if event.old_path in self._shadow:
+                change.renamed_from = event.old_path
+            elif event.old_path in self._pending:
+                # Renamed before its creation (or an earlier rename) ever
+                # synced: carry the original pending state — including any
+                # chained rename source — over to the new path.
+                original = self._pending.pop(event.old_path)
+                change.created = original.created
+                change.ops += original.ops
+                change.update_bytes += original.update_bytes
+                change.renamed_from = original.renamed_from
+        else:
+            change.deleted = False
+            if event.op is FileOp.CREATE and event.path not in self._shadow:
+                change.created = True
+
+        state = self._defer_states.get(event.path)
+        if state is None:
+            state = self.defer_policy.new_state()
+            self._defer_states[event.path] = state
+        self.defer_policy.on_update(state, now, event.update_bytes)
+
+        # Condition 2: queue the metadata computation for this update.
+        start = max(now, self._compute_busy_until)
+        done = start + self.machine.metadata_compute_time(event.size)
+        self._compute_busy_until = done
+        self._ready_at[event.path] = done
+        self.sim.schedule(done - now, self._maybe_sync)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _eligible_time(self, path: str) -> float:
+        """Earliest time this path's pending batch may start syncing."""
+        ready = self._ready_at.get(path, 0.0)
+        state = self._defer_states.get(path)
+        eligible = self.defer_policy.eligible_at(state) if state else 0.0
+        return max(ready, eligible)
+
+    def _maybe_sync(self) -> None:
+        if self._uploading or not self._pending:
+            return
+        now = self.sim.now
+        tolerance = 1e-9
+        batch = [
+            path for path in self._pending
+            if self._eligible_time(path) <= now + tolerance
+        ]
+        if not batch:
+            next_time = min(self._eligible_time(path) for path in self._pending)
+            if self._wake is not None:
+                self._wake.cancel()
+            self._wake = self.sim.schedule(max(next_time - now, 0.0), self._maybe_sync)
+            return
+
+        changes = [self._pending.pop(path) for path in batch]
+        for path in batch:
+            state = self._defer_states.get(path)
+            if state is not None:
+                self.defer_policy.on_sync(state, now)
+        self._uploading = True
+        try:
+            duration = self._sync_batch(changes)
+        except QuotaExceeded as error:
+            # The account is full: the client surfaces the error, keeps the
+            # local file, and stops retrying (real clients badge the file).
+            self.stats.failed_syncs += 1
+            self.failures.append((self.sim.now, str(error)))
+            duration = 0.1
+        self.sim.schedule(duration, self._sync_done)
+
+    def _sync_done(self) -> None:
+        self._uploading = False
+        self._maybe_sync()
+
+    def idle(self) -> bool:
+        """True when nothing is pending, uploading, or scheduled."""
+        return not self._pending and not self._uploading
+
+    # -- sync transactions ------------------------------------------------------
+
+    def _sync_batch(self, changes: List[PendingChange]) -> float:
+        start = self.sim.now
+        before = self.meter.snapshot()
+        self.server.set_time(start)
+        duration = self.machine.sync_processing_time()
+
+        uploads = [c for c in changes if not c.deleted]
+        deletions = [c for c in changes if c.deleted]
+
+        # Renames carry server-side move semantics the combined BDS commit
+        # does not express; sync them individually first.
+        renames = [c for c in uploads
+                   if c.renamed_from is not None and c.renamed_from in self._shadow]
+        uploads = [c for c in uploads if c not in renames]
+        for change in renames:
+            duration += self._sync_one(change)
+
+        bds = self.profile.bds
+        if uploads and bds.mode is BdsMode.FULL and len(uploads) > 1:
+            duration += self._sync_combined(uploads)
+        else:
+            overhead = self.profile.overhead
+            share_connection = (bds.mode is not BdsMode.NONE
+                                or overhead.batch_connection_reuse)
+            for index, change in enumerate(uploads):
+                if overhead.connection_per_sync and (
+                        index == 0 or not share_connection):
+                    self.channel.drop_connection()
+                lightweight = bds.mode is BdsMode.PARTIAL and index > 0
+                in_batch = share_connection and index > 0
+                duration += self._sync_one(change, lightweight=lightweight,
+                                           in_batch=in_batch)
+        for change in deletions:
+            duration += self._sync_delete(change)
+
+        delta = self.meter.since(before)
+        self.stats.sync_transactions += 1
+        self.stats.batch_sizes.append(len(changes))
+        self.stats.ops_per_sync.append(sum(c.ops for c in changes))
+        self.history.append(SyncRecord(
+            start=start, end=start + duration, paths=[c.path for c in changes],
+            up_payload=delta.up_payload, total_bytes=delta.total,
+            ops_batched=sum(c.ops for c in changes)))
+        return duration
+
+    # -- single-file sync --------------------------------------------------------
+
+    def _sync_one(self, change: PendingChange, lightweight: bool = False,
+                  in_batch: bool = False) -> float:
+        """Sync one path's pending state; returns wall-clock duration.
+
+        ``lightweight`` marks a non-first file of a partial-BDS batch (tiny
+        per-file overhead); ``in_batch`` marks a non-first file of a plain
+        multi-file transaction (shared connection, amortised metadata).
+        """
+        path = change.path
+        try:
+            content = self.folder.get(path)
+        except KeyError:
+            return 0.0  # deleted while queued but not flagged; nothing to do
+
+        profile = self.profile
+        overhead = profile.overhead
+
+        if change.renamed_from is not None and change.renamed_from in self._shadow:
+            # Metadata-only move: no content crosses the wire (§4.2's
+            # attribute-change pattern applies to renames as well).
+            duration = self.channel.exchange(
+                up_meta=_DELETE_META_UP, down_meta=_DELETE_META_DOWN,
+                kind="rename")
+            self.server.rename_file(self.user, change.renamed_from, path)
+            self._shadow[path] = self._shadow.pop(change.renamed_from)
+            cached = self._signature_cache.pop(change.renamed_from, None)
+            if cached is not None:
+                self._signature_cache[path] = cached
+            self.stats.renames_synced += 1
+            if self._shadow[path].md5 == content.md5:
+                self.stats.files_synced += 1
+                if overhead.notify_down:
+                    duration += self.channel.notify(overhead.notify_down)
+                return duration
+            # Renamed *and* modified: fall through to sync the new content.
+            rename_duration = duration
+        else:
+            rename_duration = 0.0
+
+        use_delta = (
+            profile.uses_ids
+            and not change.created
+            and path in self._shadow
+            and self._shadow[path].size > 0
+        )
+        duration = rename_duration
+
+        if use_delta:
+            old = self._shadow[path]
+            cached = self._signature_cache.get(path)
+            if cached is not None and cached[0] is old:
+                signature = cached[1]
+            else:
+                signature = compute_signature(old.data, profile.delta_block)
+            delta = compute_delta(signature, content.data)
+            literals = b"".join(
+                op.data for op in delta.ops if hasattr(op, "data"))
+            wire_literals = profile.upload_compression.wire_size(Content(literals))
+            payload = wire_literals + (delta.wire_size - len(literals))
+            duration += self._polls(overhead.requests_per_sync - 1)
+            duration += self.channel.exchange(
+                up_payload=payload,
+                up_meta=overhead.meta_up + int(overhead.per_byte_factor * payload),
+                down_meta=overhead.meta_down,
+                kind="delta-sync",
+            )
+            self.server.apply_delta(self.user, path, delta, content.md5)
+            self.stats.delta_syncs += 1
+        else:
+            duration += self._upload_full(
+                path, content, lightweight=lightweight, in_batch=in_batch)
+            self.stats.full_file_syncs += 1
+
+        if overhead.notify_down:
+            duration += self.channel.notify(overhead.notify_down)
+        self._shadow[path] = content
+        if profile.uses_ids:
+            self._signature_cache[path] = (
+                content, compute_signature(content.data, profile.delta_block))
+        self.stats.files_synced += 1
+        return duration
+
+    def _upload_full(self, path: str, content: Content,
+                     lightweight: bool = False,
+                     in_batch: bool = False,
+                     commit: bool = True) -> float:
+        """Full-file (possibly chunked) upload with dedup negotiation."""
+        profile = self.profile
+        overhead = profile.overhead
+        unit_size = profile.storage_chunk_size or max(content.size, 1)
+        units = chunk_data(content.data, unit_size)
+        digests = [unit.digest for unit in units]
+        duration = 0.0
+
+        missing = digests
+        if profile.dedup.enabled:
+            duration += self.channel.exchange(
+                up_meta=_NEG_BASE_UP + _NEG_UP_PER_UNIT * len(digests),
+                down_meta=_NEG_BASE_DOWN + _NEG_DOWN_PER_UNIT * len(digests),
+                kind="dedup-negotiation",
+            )
+            missing = self.server.negotiate(self.user, digests)
+
+        missing_set = set(missing)
+        payload = 0
+        keys = []
+        sizes = []
+        for unit in units:
+            if unit.digest in missing_set:
+                payload += profile.upload_compression.wire_size(Content(unit.data))
+                key = self.server.upload_chunk(self.user, unit.digest, unit.data)
+                missing_set.discard(unit.digest)
+            else:
+                key = self.server.resolve(self.user, unit.digest)
+                self.stats.dedup_skipped_units += 1
+                self.stats.dedup_skipped_bytes += unit.length
+            keys.append(key)
+            sizes.append(unit.length)
+
+        if lightweight:
+            meta_up = profile.bds.per_file_bytes
+            meta_down = max(profile.bds.per_file_bytes // 4, 60)
+        elif in_batch:
+            fraction = overhead.batch_meta_fraction
+            meta_up = int(overhead.meta_up * fraction)
+            meta_down = int(overhead.meta_down * fraction)
+        else:
+            meta_up = overhead.meta_up
+            meta_down = overhead.meta_down
+            duration += self._polls(overhead.requests_per_sync - 1)
+        duration += self.channel.exchange(
+            up_payload=payload,
+            up_meta=meta_up + int(overhead.per_byte_factor * payload),
+            down_meta=meta_down,
+            kind="upload",
+        )
+        if commit:
+            self.server.commit(self.user, path, content.size, content.md5,
+                               digests, keys, sizes)
+        return duration
+
+    def _sync_combined(self, uploads: List[PendingChange]) -> float:
+        """Full BDS: one transaction commits the whole batch (Table 7)."""
+        profile = self.profile
+        overhead = profile.overhead
+        duration = self._polls(overhead.requests_per_sync - 1)
+        total_payload = 0
+        commits = []
+
+        # One negotiation covering every unit of every file.
+        all_units = []
+        for change in uploads:
+            try:
+                content = self.folder.get(change.path)
+            except KeyError:
+                continue
+            unit_size = profile.storage_chunk_size or max(content.size, 1)
+            units = chunk_data(content.data, unit_size)
+            all_units.append((change, content, units))
+        digests = [u.digest for _, _, units in all_units for u in units]
+        missing = digests
+        if profile.dedup.enabled and digests:
+            duration += self.channel.exchange(
+                up_meta=_NEG_BASE_UP + _NEG_UP_PER_UNIT * len(digests),
+                down_meta=_NEG_BASE_DOWN + _NEG_DOWN_PER_UNIT * len(digests),
+                kind="dedup-negotiation",
+            )
+            missing = self.server.negotiate(self.user, digests)
+        missing_set = set(missing)
+
+        for change, content, units in all_units:
+            keys, sizes = [], []
+            for unit in units:
+                if unit.digest in missing_set:
+                    total_payload += profile.upload_compression.wire_size(
+                        Content(unit.data))
+                    key = self.server.upload_chunk(self.user, unit.digest, unit.data)
+                    missing_set.discard(unit.digest)
+                else:
+                    key = self.server.resolve(self.user, unit.digest)
+                    self.stats.dedup_skipped_units += 1
+                    self.stats.dedup_skipped_bytes += unit.length
+                keys.append(key)
+                sizes.append(unit.length)
+            commits.append((change, content, [u.digest for u in units], keys, sizes))
+
+        manifest_bytes = profile.bds.per_file_bytes * len(commits)
+        duration += self.channel.exchange(
+            up_payload=total_payload,
+            up_meta=overhead.meta_up + manifest_bytes
+            + int(overhead.per_byte_factor * total_payload),
+            down_meta=overhead.meta_down,
+            kind="bds-commit",
+        )
+        for change, content, digests_, keys, sizes in commits:
+            self.server.commit(self.user, change.path, content.size,
+                               content.md5, digests_, keys, sizes)
+            self._shadow[change.path] = content
+            self.stats.files_synced += 1
+            self.stats.full_file_syncs += 1
+        if overhead.notify_down:
+            duration += self.channel.notify(overhead.notify_down)
+        return duration
+
+    def _sync_delete(self, change: PendingChange) -> float:
+        """Fake deletion: a tiny attribute-change exchange (§4.2)."""
+        if change.path in self._shadow:
+            target = change.path
+        elif change.renamed_from is not None and change.renamed_from in self._shadow:
+            # Renamed and then deleted before the rename ever synced: the
+            # cloud still knows the file under its old name.
+            target = change.renamed_from
+        else:
+            return 0.0  # created and deleted before ever reaching the cloud
+        duration = self.channel.exchange(
+            up_meta=_DELETE_META_UP, down_meta=_DELETE_META_DOWN, kind="delete")
+        try:
+            self.server.delete_file(self.user, target)
+        except NotFound:
+            pass
+        del self._shadow[target]
+        self._signature_cache.pop(target, None)
+        self.stats.deletions_synced += 1
+        self.stats.files_synced += 1
+        if self.profile.overhead.notify_down:
+            duration += self.channel.notify(self.profile.overhead.notify_down)
+        return duration
+
+    def _polls(self, count: int) -> float:
+        """Auxiliary request/response exchanges some protocols issue."""
+        duration = 0.0
+        for _ in range(max(count, 0)):
+            duration += self.channel.exchange(up_meta=250, down_meta=250, kind="poll")
+        return duration
+
+    # -- downloads ------------------------------------------------------------
+
+    def download(self, path: str) -> Content:
+        """Fetch a file from the cloud, metering the down-stream traffic.
+
+        Used by Experiment 4's download phase (Table 8 "DN" columns).
+        """
+        overhead = self.profile.overhead
+        if overhead.connection_per_sync:
+            self.channel.drop_connection()
+        data = self.server.download(self.user, path)
+        content = Content(data)
+        wire = self.profile.download_compression.wire_size(content)
+        self.channel.exchange(
+            up_meta=400,
+            down_payload=wire,
+            down_meta=overhead.meta_down
+            + int(overhead.per_byte_factor * wire),
+            kind="download",
+        )
+        return content

@@ -1,0 +1,80 @@
+"""Client machine profiles (Table 4) and the metadata-computation model.
+
+§6.2 of the paper explains *why* hardware affects TUE: a new modification is
+synchronized only when "the client machine has finished calculating the
+latest metadata of the modified file" (Condition 2), and "calculating the
+latest metadata (which is computation-intensive) requires a longer period of
+time" on slower hardware — so updates are naturally batched.
+
+Each profile therefore carries an effective metadata throughput (hashing +
+indexing + disk, far below raw disk speed for weak machines, matching the
+multi-second client stalls the paper's Atom netbook exhibits) plus a fixed
+per-operation cost, and a CPU factor applied to per-sync protocol work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """One experimental client machine."""
+
+    name: str
+    cpu: str
+    memory_gb: int
+    storage: str
+    #: Effective metadata pipeline throughput, bytes/second (hash + index + I/O).
+    meta_rate: float
+    #: Fixed per-file-operation metadata cost, seconds.
+    meta_base: float
+    #: Multiplier on per-sync client-side protocol processing.
+    cpu_factor: float
+
+    def metadata_compute_time(self, nbytes: int) -> float:
+        """Condition 2: time to (re)compute a file's sync metadata."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.meta_base + nbytes / self.meta_rate
+
+    def sync_processing_time(self) -> float:
+        """Client-side CPU cost charged per sync transaction."""
+        return 0.10 * self.cpu_factor
+
+
+_MB = 1024 * 1024
+
+#: Typical machine: quad-core i5 @1.7 GHz, 4 GB, 7200 RPM disk.
+M1 = MachineProfile("M1", "Quad-core Intel i5 @ 1.70 GHz", 4, "7200 RPM, 500 GB",
+                    meta_rate=60 * _MB, meta_base=0.006, cpu_factor=1.0)
+#: Outdated machine: Atom @1.0 GHz, 1 GB, 5400 RPM disk.
+M2 = MachineProfile("M2", "Intel Atom @ 1.00 GHz", 1, "5400 RPM, 320 GB",
+                    meta_rate=3 * _MB, meta_base=0.90, cpu_factor=8.0)
+#: Advanced machine: quad-core i7 @1.9 GHz, 4 GB, SSD.
+M3 = MachineProfile("M3", "Quad-core Intel i7 @ 1.90 GHz", 4, "SSD, 250 GB",
+                    meta_rate=150 * _MB, meta_base=0.003, cpu_factor=0.5)
+#: Android smartphone: dual-core ARM @1.5 GHz.
+M4 = MachineProfile("M4", "Dual-core ARM @ 1.50 GHz", 1, "MicroSD, 16 GB",
+                    meta_rate=3 * _MB, meta_base=0.50, cpu_factor=10.0)
+
+#: The Beijing twins share hardware with their Minnesota counterparts.
+B1 = MachineProfile("B1", M1.cpu, M1.memory_gb, "7200 RPM, 500 GB",
+                    meta_rate=M1.meta_rate, meta_base=M1.meta_base, cpu_factor=M1.cpu_factor)
+B2 = MachineProfile("B2", M2.cpu, M2.memory_gb, "5400 RPM, 250 GB",
+                    meta_rate=M2.meta_rate, meta_base=M2.meta_base, cpu_factor=M2.cpu_factor)
+B3 = MachineProfile("B3", M3.cpu, M3.memory_gb, "SSD, 250 GB",
+                    meta_rate=M3.meta_rate, meta_base=M3.meta_base, cpu_factor=M3.cpu_factor)
+B4 = MachineProfile("B4", "Dual-core ARM @ 1.53 GHz", 1, "MicroSD, 16 GB",
+                    meta_rate=M4.meta_rate, meta_base=M4.meta_base, cpu_factor=M4.cpu_factor)
+
+ALL_MACHINES = (M1, M2, M3, M4, B1, B2, B3, B4)
+
+
+def machine(name: str) -> MachineProfile:
+    """Look up a machine profile by its Table 4 name."""
+    for profile in ALL_MACHINES:
+        if profile.name == name.upper():
+            return profile
+    raise KeyError(f"unknown machine {name!r}; expected one of "
+                   f"{[m.name for m in ALL_MACHINES]}")

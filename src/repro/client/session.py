@@ -1,0 +1,121 @@
+"""High-level facade: one user, one device, one service, one wire.
+
+:class:`SyncSession` assembles the full measurement rig the paper uses per
+experiment — simulator, link (+ emulator), cloud server, sync folder, client
+engine, traffic meter — and exposes the file operations and the TUE readout.
+
+Sessions can share a ``sim`` and a ``server`` to model several users or
+devices against one cloud (cross-user dedup, Experiment 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..cloud import CloudServer
+from ..content import Content, random_content, text_content
+from ..fsim import SyncFolder
+from ..simnet import Link, LinkSpec, NetworkEmulator, Simulator, TrafficMeter, mn_link
+from .engine import SyncClient
+from .hardware import M1, MachineProfile
+from .profiles import AccessMethod, ServiceProfile, service_profile
+
+
+class SyncSession:
+    """Everything needed to run one client against a (possibly shared) cloud."""
+
+    def __init__(
+        self,
+        profile: Union[ServiceProfile, str],
+        access: AccessMethod = AccessMethod.PC,
+        machine: MachineProfile = M1,
+        link_spec: Optional[LinkSpec] = None,
+        sim: Optional[Simulator] = None,
+        server: Optional[CloudServer] = None,
+        user: str = "user1",
+    ):
+        if isinstance(profile, str):
+            profile = service_profile(profile, access)
+        self.profile = profile
+        self.sim = sim or Simulator()
+        self.link = Link(link_spec or mn_link())
+        self.netem = NetworkEmulator(self.sim, self.link)
+        self.server = server or CloudServer(
+            dedup=profile.dedup,
+            storage_chunk_size=profile.storage_chunk_size,
+            name=profile.name,
+        )
+        self.folder = SyncFolder(self.sim)
+        self.meter = TrafficMeter()
+        self.client = SyncClient(
+            sim=self.sim, folder=self.folder, server=self.server,
+            profile=profile, machine=machine, link=self.link,
+            meter=self.meter, user=user,
+        )
+        self._update_bytes = 0
+        self.folder.subscribe(self._track_update)
+
+    def _track_update(self, event) -> None:
+        self._update_bytes += event.update_bytes
+
+    # -- file operations (forwarded to the sync folder) ---------------------
+
+    def create_file(self, path: str, content: Content):
+        return self.folder.create(path, content)
+
+    def create_random_file(self, path: str, size: int, seed: int = 0):
+        """Create a "highly compressed" (incompressible) file."""
+        return self.folder.create(path, random_content(size, seed=seed))
+
+    def create_text_file(self, path: str, size: int, seed: int = 0):
+        """Create an Experiment 4 style compressible text file."""
+        return self.folder.create(path, text_content(size, seed=seed))
+
+    def write_file(self, path: str, content: Content):
+        return self.folder.write(path, content)
+
+    def append(self, path: str, extra: Content):
+        return self.folder.append(path, extra)
+
+    def modify_random_byte(self, path: str, seed: int = 0):
+        return self.folder.modify_random_byte(path, seed=seed)
+
+    def delete_file(self, path: str):
+        return self.folder.delete(path)
+
+    def download(self, path: str) -> Content:
+        return self.client.download(path)
+
+    # -- time ---------------------------------------------------------------
+
+    def run_until_idle(self, max_time: Optional[float] = None) -> None:
+        """Drain the simulation: all pending syncs (and defer timers) fire."""
+        self.sim.run_until_idle(max_time=max_time)
+
+    def advance(self, seconds: float) -> None:
+        """Run the simulation forward by a fixed amount of virtual time."""
+        self.sim.run_until(self.sim.now + seconds)
+
+    # -- measurement -----------------------------------------------------------
+
+    @property
+    def data_update_bytes(self) -> int:
+        """Accumulated *data update size* (the TUE denominator)."""
+        return self._update_bytes
+
+    @property
+    def total_traffic(self) -> int:
+        """Total sync traffic in bytes, both directions (TUE numerator)."""
+        return self.meter.total_bytes
+
+    def tue(self, update_size: Optional[int] = None) -> float:
+        """Traffic Usage Efficiency (Eq. 1)."""
+        denominator = self._update_bytes if update_size is None else update_size
+        if denominator <= 0:
+            raise ValueError("data update size must be positive to compute TUE")
+        return self.meter.total_bytes / denominator
+
+    def reset_meter(self) -> None:
+        """Zero the traffic meter (e.g. between UP and DN phases)."""
+        self.meter.reset()
+        self._update_bytes = 0

@@ -1,0 +1,40 @@
+"""Simulated cloud storage back end (the paper's RESTful substrate)."""
+
+from .accounts import Account, AccountRegistry
+from .dedup import DedupConfig, DedupGranularity, DedupIndex, DedupScope
+from .errors import (
+    AlreadyExists,
+    CloudError,
+    ConflictError,
+    IntegrityError,
+    NotFound,
+    QuotaExceeded,
+)
+from .metadata import FileEntry, FileVersion, MetadataServer
+from .midlayer import ChunkStore
+from .object_store import ObjectRecord, ObjectStore, RestOpCounters
+from .server import CloudServer, ServerStats
+
+__all__ = [
+    "Account",
+    "AccountRegistry",
+    "AlreadyExists",
+    "ChunkStore",
+    "CloudError",
+    "CloudServer",
+    "ConflictError",
+    "DedupConfig",
+    "DedupGranularity",
+    "DedupIndex",
+    "DedupScope",
+    "FileEntry",
+    "FileVersion",
+    "IntegrityError",
+    "MetadataServer",
+    "NotFound",
+    "ObjectRecord",
+    "ObjectStore",
+    "QuotaExceeded",
+    "RestOpCounters",
+    "ServerStats",
+]

@@ -1,0 +1,66 @@
+"""User accounts and storage quotas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..units import GB
+from .errors import AlreadyExists, NotFound, QuotaExceeded
+
+
+@dataclass
+class Account:
+    """One registered user with a logical-byte quota.
+
+    ``used_bytes`` counts logical (pre-dedup, pre-compression) bytes of all
+    live head versions — the number services show users, independent of the
+    provider's physical savings.
+    """
+
+    user: str
+    quota_bytes: int = 15 * GB
+    used_bytes: int = 0
+    device_count: int = 1
+
+    def charge(self, nbytes: int) -> None:
+        if self.used_bytes + nbytes > self.quota_bytes:
+            raise QuotaExceeded(
+                f"{self.user}: {self.used_bytes + nbytes} would exceed quota "
+                f"{self.quota_bytes}")
+        self.used_bytes += nbytes
+
+    def refund(self, nbytes: int) -> None:
+        self.used_bytes = max(0, self.used_bytes - nbytes)
+
+
+class AccountRegistry:
+    """All accounts known to one cloud service."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, Account] = {}
+
+    def register(self, user: str, quota_bytes: int = 15 * GB) -> Account:
+        if user in self._accounts:
+            raise AlreadyExists(f"account {user!r} already exists")
+        account = Account(user=user, quota_bytes=quota_bytes)
+        self._accounts[user] = account
+        return account
+
+    def ensure(self, user: str) -> Account:
+        """Get or lazily create an account (experiments use this)."""
+        if user not in self._accounts:
+            return self.register(user)
+        return self._accounts[user]
+
+    def get(self, user: str) -> Account:
+        account = self._accounts.get(user)
+        if account is None:
+            raise NotFound(f"account {user!r} does not exist")
+        return account
+
+    def __contains__(self, user: str) -> bool:
+        return user in self._accounts
+
+    def __len__(self) -> int:
+        return len(self._accounts)

@@ -1,0 +1,27 @@
+"""Exceptions raised by the simulated cloud back-end."""
+
+from __future__ import annotations
+
+
+class CloudError(Exception):
+    """Base class for cloud-side failures."""
+
+
+class NotFound(CloudError):
+    """The requested object, file, or account does not exist."""
+
+
+class AlreadyExists(CloudError):
+    """Create-only operation hit an existing key."""
+
+
+class ConflictError(CloudError):
+    """Optimistic-concurrency commit lost the race."""
+
+
+class QuotaExceeded(CloudError):
+    """Account storage quota would be exceeded by the operation."""
+
+
+class IntegrityError(CloudError):
+    """Stored data failed a digest check — corruption in the pipeline."""

@@ -1,0 +1,45 @@
+"""The chunk mid-layer between sync semantics and the RESTful store.
+
+Footnote 4 of the paper describes the two known ways to make incremental
+sync work over full-file REST storage: transform MODIFY into GET + PUT +
+DELETE, or "store every chunk of a file as a separate data object" (the
+Cumulus approach).  :class:`ChunkStore` implements the latter: every chunk
+becomes one REST object, so every chunk operation is visible in the object
+store's :class:`~repro.cloud.object_store.RestOpCounters`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+from .object_store import ObjectStore
+
+
+class ChunkStore:
+    """Content chunks stored as individual full-file REST objects."""
+
+    def __init__(self, objects: ObjectStore, prefix: str = "chunks/"):
+        self.objects = objects
+        self.prefix = prefix
+        self._sequence = itertools.count()
+
+    def store(self, data: bytes) -> str:
+        """PUT one chunk as a fresh object; returns its key."""
+        key = f"{self.prefix}{next(self._sequence):012d}"
+        self.objects.put(key, data)
+        return key
+
+    def fetch(self, key: str) -> bytes:
+        """GET one chunk."""
+        return self.objects.get(key)
+
+    def fetch_many(self, keys: List[str]) -> bytes:
+        """Reassemble a file from its manifest order."""
+        return b"".join(self.objects.get(key) for key in keys)
+
+    def delete(self, key: str) -> None:
+        self.objects.delete(key)
+
+    def exists(self, key: str) -> bool:
+        return key in self.objects

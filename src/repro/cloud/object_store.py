@@ -1,0 +1,126 @@
+"""RESTful object store — the Amazon-S3-class substrate.
+
+The paper stresses that "most of today's cloud storage services are built on
+top of RESTful infrastructure ... that typically only support data access
+operations at the full-file level" (§4.3).  This store enforces exactly that
+contract: whole-object PUT / GET / DELETE / HEAD / LIST, nothing else.  Any
+finer-grained behaviour (chunks, deltas, dedup) must be layered on top — see
+:mod:`repro.cloud.midlayer` — which is precisely the architectural point the
+paper makes about implementing incremental data sync.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from .errors import IntegrityError, NotFound
+
+
+@dataclass
+class ObjectRecord:
+    """One stored object plus bookkeeping."""
+
+    key: str
+    data: bytes
+    etag: str
+    created_at: float
+    put_count: int = 1
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class RestOpCounters:
+    """REST verbs issued against the store — the mid-layer's cost ledger.
+
+    The paper notes IDS requires transforming MODIFY into GET + PUT + DELETE;
+    these counters make that transformation observable in tests and benches.
+    """
+
+    put: int = 0
+    get: int = 0
+    delete: int = 0
+    head: int = 0
+    list: int = 0
+    put_bytes: int = 0
+    get_bytes: int = 0
+
+    def total_ops(self) -> int:
+        return self.put + self.get + self.delete + self.head + self.list
+
+
+class ObjectStore:
+    """In-memory full-file object store with S3-like semantics."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, ObjectRecord] = {}
+        self.ops = RestOpCounters()
+        self._clock = 0.0
+
+    def set_time(self, now: float) -> None:
+        """Let the simulation clock stamp object creation times."""
+        self._clock = now
+
+    # -- REST verbs --------------------------------------------------------
+
+    def put(self, key: str, data: bytes) -> ObjectRecord:
+        """Store a whole object (create or full overwrite)."""
+        etag = hashlib.md5(data).hexdigest()
+        existing = self._objects.get(key)
+        record = ObjectRecord(
+            key=key,
+            data=bytes(data),
+            etag=etag,
+            created_at=self._clock,
+            put_count=(existing.put_count + 1) if existing else 1,
+        )
+        self._objects[key] = record
+        self.ops.put += 1
+        self.ops.put_bytes += len(data)
+        return record
+
+    def get(self, key: str) -> bytes:
+        """Fetch a whole object; verifies the stored digest on the way out."""
+        record = self._objects.get(key)
+        if record is None:
+            raise NotFound(f"object {key!r} does not exist")
+        self.ops.get += 1
+        self.ops.get_bytes += record.size
+        if hashlib.md5(record.data).hexdigest() != record.etag:
+            raise IntegrityError(f"object {key!r} failed its digest check")
+        return record.data
+
+    def delete(self, key: str) -> None:
+        if key not in self._objects:
+            raise NotFound(f"object {key!r} does not exist")
+        del self._objects[key]
+        self.ops.delete += 1
+
+    def head(self, key: str) -> Optional[ObjectRecord]:
+        """Metadata-only probe; returns None instead of raising."""
+        self.ops.head += 1
+        return self._objects.get(key)
+
+    def list_keys(self, prefix: str = "") -> List[str]:
+        self.ops.list += 1
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+    # -- accounting ---------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[ObjectRecord]:
+        return iter(self._objects.values())
+
+    @property
+    def stored_bytes(self) -> int:
+        """Physical bytes currently held (the provider's storage bill)."""
+        return sum(record.size for record in self._objects.values())

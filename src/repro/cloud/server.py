@@ -1,0 +1,252 @@
+"""The cloud sync service: dedup negotiation, chunk upload, commits, IDS.
+
+:class:`CloudServer` is the server half of a cloud storage service.  It wires
+together the RESTful object store, the chunk mid-layer, the metadata server,
+the dedup index, and the account registry, and exposes the sync-session API
+the client engine drives:
+
+* :meth:`negotiate` — fingerprint exchange (the dedup protocol);
+* :meth:`upload_chunk` / :meth:`resolve` — content transfer or dedup hit;
+* :meth:`commit` — append a new file version;
+* :meth:`apply_delta` — the IDS mid-layer (GET + apply + PUT + DELETE);
+* :meth:`download`, :meth:`delete_file`, :meth:`restore_version`.
+
+Traffic is *not* metered here: bytes cross the wire in the client engine,
+which meters them on its :class:`~repro.simnet.meter.TrafficMeter`.  The
+server's job is semantics plus server-side cost accounting (REST ops,
+stored bytes) used by the §7 tradeoff analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..chunking import fingerprint
+from ..delta import Delta, apply_delta as apply_rsync_delta
+from .accounts import AccountRegistry
+from .dedup import DedupConfig, DedupIndex
+from .errors import IntegrityError, NotFound
+from .metadata import FileVersion, MetadataServer
+from .midlayer import ChunkStore
+from .object_store import ObjectStore
+
+
+@dataclass
+class ServerStats:
+    """Server-side cost counters for tradeoff analyses (§7)."""
+
+    chunks_received: int = 0
+    bytes_received: int = 0
+    dedup_bytes_saved: int = 0
+    delta_applications: int = 0
+    commits: int = 0
+
+
+class CloudServer:
+    """Semantics of one cloud storage service's back end."""
+
+    def __init__(
+        self,
+        dedup: Optional[DedupConfig] = None,
+        storage_chunk_size: Optional[int] = None,
+        name: str = "cloud",
+    ):
+        self.name = name
+        self.dedup_config = dedup or DedupConfig.none()
+        #: None ⇒ whole files are single REST objects; an int ⇒ files are
+        #: split into objects of this size (the Cumulus-style mid-layer).
+        self.storage_chunk_size = storage_chunk_size
+        self.objects = ObjectStore()
+        self.chunks = ChunkStore(self.objects)
+        self.metadata = MetadataServer()
+        self.accounts = AccountRegistry()
+        self.dedup = DedupIndex(self.dedup_config)
+        self.stats = ServerStats()
+        self.now = 0.0
+
+    def set_time(self, now: float) -> None:
+        self.now = now
+        self.objects.set_time(now)
+
+    # -- dedup negotiation ---------------------------------------------------
+
+    def negotiate(self, user: str, digests: Sequence[str]) -> List[str]:
+        """Return the digests the client must actually upload.
+
+        With dedup disabled this is all of them; otherwise only those missing
+        from the index within the configured scope.
+        """
+        self.accounts.ensure(user)
+        missing = []
+        for digest in digests:
+            if self.dedup.lookup(user, digest) is None:
+                missing.append(digest)
+        return missing
+
+    def resolve(self, user: str, digest: str) -> Optional[str]:
+        """Chunk key for an already-stored digest within scope (no upload)."""
+        return self.dedup.lookup(user, digest)
+
+    # -- content transfer ------------------------------------------------------
+
+    def upload_chunk(self, user: str, digest: str, data: bytes) -> str:
+        """Receive one chunk, verify its fingerprint, store it, index it."""
+        self.accounts.ensure(user)
+        if fingerprint(data) != digest:
+            raise IntegrityError("uploaded chunk does not match declared digest")
+        existing = self.dedup.lookup(user, digest)
+        if existing is not None:
+            # Client raced a duplicate past negotiation; don't store twice.
+            self.stats.dedup_bytes_saved += len(data)
+            return existing
+        key = self.chunks.store(data)
+        self.dedup.register(user, digest, key)
+        self.stats.chunks_received += 1
+        self.stats.bytes_received += len(data)
+        return key
+
+    # -- commits -----------------------------------------------------------
+
+    def commit(
+        self,
+        user: str,
+        path: str,
+        size: int,
+        md5: str,
+        chunk_digests: Sequence[str],
+        chunk_keys: Sequence[str],
+        stored_sizes: Sequence[int],
+    ) -> FileVersion:
+        """Append a new head version referencing already-stored chunks."""
+        if len(chunk_digests) != len(chunk_keys):
+            raise ValueError("digest/key manifests disagree in length")
+        for key in chunk_keys:
+            if not self.chunks.exists(key):
+                raise NotFound(f"commit references missing chunk {key}")
+        account = self.accounts.ensure(user)
+        previous_size = 0
+        try:
+            previous_size = self.metadata.head(user, path).size
+        except NotFound:
+            pass
+        account.refund(previous_size)
+        account.charge(size)
+        version = self.metadata.commit(
+            user, path, size, md5,
+            list(chunk_digests), list(chunk_keys), list(stored_sizes), self.now)
+        self.stats.commits += 1
+        return version
+
+    # -- the IDS mid-layer ---------------------------------------------------
+
+    def apply_delta(self, user: str, path: str, delta: Delta,
+                    expected_md5: str) -> FileVersion:
+        """MODIFY transformed into GET + PUT + DELETE (§4.3).
+
+        The client ships only the rsync delta; the mid-layer GETs the old
+        content from REST objects, applies the delta, PUTs the new content,
+        and DELETEs stale objects.  Every verb lands in
+        ``self.objects.ops`` so the REST amplification is measurable.
+        """
+        head = self.metadata.head(user, path)
+        old_data = self.chunks.fetch_many(list(head.chunk_keys))  # GETs
+        new_data = apply_rsync_delta(old_data, delta)
+        if fingerprint(new_data) != expected_md5:
+            raise IntegrityError("delta application produced wrong content")
+        self.stats.delta_applications += 1
+
+        chunk_size = self.storage_chunk_size or max(len(new_data), 1)
+        digests, keys, sizes = self._store_content(user, new_data, chunk_size)
+
+        # DELETE the old version's objects that no new version references.
+        new_version = self.commit(
+            user, path, len(new_data), expected_md5, digests, keys, sizes)
+        self._delete_stale(set(head.chunk_keys))
+        return new_version
+
+    def _store_content(self, user: str, data: bytes, chunk_size: int):
+        """Chunk, dedup, and PUT content server-side (mid-layer internals)."""
+        digests: List[str] = []
+        keys: List[str] = []
+        sizes: List[int] = []
+        for offset in range(0, max(len(data), 1), chunk_size):
+            piece = data[offset:offset + chunk_size]
+            digest = fingerprint(piece)
+            key = self.dedup.lookup(user, digest)
+            if key is None:
+                key = self.chunks.store(piece)
+                self.dedup.register(user, digest, key)
+            digests.append(digest)
+            keys.append(key)
+            sizes.append(len(piece))
+        return digests, keys, sizes
+
+    def _delete_stale(self, candidate_keys: set) -> None:
+        live = self.metadata.live_chunk_keys()
+        for key in candidate_keys - live:
+            if self.chunks.exists(key):
+                self.chunks.delete(key)
+
+    # -- reads, deletes, rollback ---------------------------------------------
+
+    def download(self, user: str, path: str) -> bytes:
+        """Reassemble the head version's content (GET per chunk)."""
+        head = self.metadata.head(user, path)
+        data = self.chunks.fetch_many(list(head.chunk_keys))
+        if head.md5 and fingerprint(data) != head.md5:
+            raise IntegrityError(f"{user}:{path} failed reassembly digest check")
+        return data
+
+    def delete_file(self, user: str, path: str) -> FileVersion:
+        """Fake deletion: tombstone the path, retain every stored version."""
+        head = self.metadata.head(user, path)
+        self.accounts.get(user).refund(head.size)
+        return self.metadata.tombstone(user, path, self.now)
+
+    def rename_file(self, user: str, old_path: str, new_path: str) -> FileVersion:
+        """Move a file: a metadata-only commit referencing the same chunks.
+
+        No content moves; the old path gets a tombstone (history preserved)
+        and the new path's first version points at the existing chunk keys.
+        """
+        head = self.metadata.head(user, old_path)
+        version = self.metadata.commit(
+            user, new_path, head.size, head.md5,
+            list(head.chunk_digests), list(head.chunk_keys),
+            list(head.stored_sizes), self.now)
+        self.metadata.tombstone(user, old_path, self.now)
+        return version
+
+    def restore_version(self, user: str, path: str, number: int) -> FileVersion:
+        """Version rollback — the recovery feature fake deletion enables."""
+        target = self.metadata.version(user, path, number)
+        if target.deleted:
+            raise NotFound(f"version {number} is a tombstone")
+        account = self.accounts.ensure(user)
+        try:
+            account.refund(self.metadata.head(user, path).size)
+        except NotFound:
+            pass
+        account.charge(target.size)
+        return self.metadata.commit(
+            user, path, target.size, target.md5,
+            list(target.chunk_digests), list(target.chunk_keys),
+            list(target.stored_sizes), self.now)
+
+    def purge_history(self, user: str, path: str, keep_last: int = 1) -> int:
+        """Cap a path's version history, then GC unreferenced chunks."""
+        removed_versions = self.metadata.purge_history(user, path, keep_last)
+        if removed_versions:
+            self.collect_garbage()
+        return removed_versions
+
+    def collect_garbage(self) -> int:
+        """Remove chunk objects no version references; returns count."""
+        live = self.metadata.live_chunk_keys()
+        removed = 0
+        for key in list(self.objects.list_keys(self.chunks.prefix)):
+            if key not in live:
+                self.chunks.delete(key)
+                removed += 1
+        return removed

@@ -1,0 +1,21 @@
+"""Compression engine: qualitative levels backed by real DEFLATE."""
+
+from .policy import (
+    HIGH_COMPRESSION,
+    LOW_COMPRESSION,
+    MODERATE_COMPRESSION,
+    NO_COMPRESSION,
+    CompressionLevel,
+    CompressionPolicy,
+    winzip_reference_size,
+)
+
+__all__ = [
+    "CompressionLevel",
+    "CompressionPolicy",
+    "HIGH_COMPRESSION",
+    "LOW_COMPRESSION",
+    "MODERATE_COMPRESSION",
+    "NO_COMPRESSION",
+    "winzip_reference_size",
+]

@@ -1,0 +1,125 @@
+"""§7 tradeoff analysis: traffic vs. computation vs. storage vs. REST costs.
+
+The paper's discussion section argues that TUE cannot be optimised in
+isolation: incremental sync "puts more computational burden on both service
+providers and end users", compression trades CPU for bytes, chunked storage
+multiplies REST operations, and dedup spends fingerprint computation to
+save storage and traffic.  This module quantifies all four axes for any
+(profile, workload) pair on the simulated substrate, so the design-choice
+ablations can report a full cost vector instead of traffic alone.
+
+CPU costs are modelled, not wall-clock-measured: hashing and compression
+throughputs come from the machine profile and published DEFLATE rates, so
+results are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..client import M1, MachineProfile, ServiceProfile, SyncSession
+from ..compress import CompressionLevel
+from ..units import MB
+
+#: Modelled client CPU throughputs, bytes/second (order-of-magnitude DEFLATE
+#: and MD5 rates on 2014-class hardware; scaled by the machine's cpu factor).
+_COMPRESS_RATE = {
+    CompressionLevel.NONE: float("inf"),
+    CompressionLevel.LOW: 200 * MB,
+    CompressionLevel.MODERATE: 80 * MB,
+    CompressionLevel.HIGH: 30 * MB,
+}
+_HASH_RATE = 400 * MB
+_SERVER_IO_RATE = 200 * MB
+
+
+@dataclass
+class CostReport:
+    """The §7 cost vector for one workload run."""
+
+    profile_name: str
+    traffic_bytes: int = 0
+    data_update_bytes: int = 0
+    stored_bytes: int = 0          # physical bytes at the provider
+    logical_bytes: int = 0         # bytes users believe they store
+    rest_operations: int = 0       # mid-layer PUT/GET/DELETE/... count
+    client_cpu_seconds: float = 0.0
+    server_cpu_seconds: float = 0.0
+    sync_transactions: int = 0
+
+    @property
+    def tue(self) -> float:
+        if self.data_update_bytes <= 0:
+            return float("nan")
+        return self.traffic_bytes / self.data_update_bytes
+
+    @property
+    def storage_efficiency(self) -> float:
+        """logical / physical — >1 means dedup/compression is saving disk."""
+        if self.stored_bytes <= 0:
+            return float("nan")
+        return self.logical_bytes / self.stored_bytes
+
+
+def measure_costs(
+    profile: ServiceProfile,
+    workload: Callable[[SyncSession], int],
+    machine: MachineProfile = M1,
+) -> CostReport:
+    """Run ``workload`` through a fresh session and collect the cost vector.
+
+    ``workload`` receives the session and returns the data update size in
+    bytes (the TUE denominator).
+    """
+    session = SyncSession(profile, machine=machine)
+    update_bytes = workload(session)
+    session.run_until_idle()
+
+    server = session.server
+    stats = session.client.stats
+
+    # Client CPU: hashing every event's file state plus compressing every
+    # uploaded payload byte at the profile's level.
+    hashed_bytes = sum(record.up_payload for record in session.client.history)
+    compress_rate = _COMPRESS_RATE[profile.upload_compression.level]
+    cpu_factor = machine.cpu_factor
+    client_cpu = cpu_factor * (
+        hashed_bytes / _HASH_RATE
+        + (session.meter.up.payload / compress_rate if compress_rate != float("inf") else 0.0)
+        + stats.sync_transactions * 0.01
+    )
+
+    # Server CPU: chunk I/O plus delta application (GET + apply + PUT).
+    server_cpu = (
+        server.objects.ops.put_bytes / _SERVER_IO_RATE
+        + server.objects.ops.get_bytes / _SERVER_IO_RATE
+        + server.stats.delta_applications * 0.005
+    )
+
+    logical = sum(
+        account.used_bytes
+        for account in server.accounts._accounts.values()  # analysis access
+    )
+    return CostReport(
+        profile_name=profile.name,
+        traffic_bytes=session.total_traffic,
+        data_update_bytes=max(update_bytes, 1),
+        stored_bytes=server.objects.stored_bytes,
+        logical_bytes=logical,
+        rest_operations=server.objects.ops.total_ops(),
+        client_cpu_seconds=client_cpu,
+        server_cpu_seconds=server_cpu,
+        sync_transactions=stats.sync_transactions,
+    )
+
+
+def compare_designs(
+    profiles: Sequence[ServiceProfile],
+    workload: Callable[[SyncSession], int],
+    machine: MachineProfile = M1,
+) -> List[CostReport]:
+    """Cost vectors for several designs on the same workload, traffic-sorted."""
+    reports = [measure_costs(profile, workload, machine) for profile in profiles]
+    reports.sort(key=lambda report: report.traffic_bytes)
+    return reports

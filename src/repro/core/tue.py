@@ -1,0 +1,89 @@
+"""The TUE metric (Eq. 1) and traffic decomposition reports.
+
+    TUE = total data sync traffic / data update size
+
+When compression is in play, the paper defines the data update size as the
+*compressed* size of the altered bits (footnote 2); :func:`tue` leaves the
+choice of denominator to the caller, and :func:`compressed_update_size`
+computes the footnote-2 variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compress import CompressionPolicy, HIGH_COMPRESSION
+from ..content import Content
+from ..simnet import MeterSnapshot, TrafficMeter
+
+
+def tue(total_sync_traffic: int, data_update_size: int) -> float:
+    """Traffic Usage Efficiency — Eq. 1 of the paper."""
+    if data_update_size <= 0:
+        raise ValueError("data update size must be positive")
+    if total_sync_traffic < 0:
+        raise ValueError("sync traffic cannot be negative")
+    return total_sync_traffic / data_update_size
+
+
+def compressed_update_size(update: Content,
+                           policy: CompressionPolicy = HIGH_COMPRESSION) -> int:
+    """Footnote 2: the compressed size of the altered bits."""
+    return policy.wire_size(update)
+
+
+def overhead_traffic(total_sync_traffic: int, payload_size: int) -> int:
+    """Experiment 1's decomposition: overhead ≈ total − payload."""
+    return max(total_sync_traffic - payload_size, 0)
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """A complete TUE readout for one experiment run."""
+
+    up_payload: int
+    up_overhead: int
+    down_payload: int
+    down_overhead: int
+    data_update_size: int
+
+    @property
+    def total(self) -> int:
+        return (self.up_payload + self.up_overhead
+                + self.down_payload + self.down_overhead)
+
+    @property
+    def overhead(self) -> int:
+        return self.up_overhead + self.down_overhead
+
+    @property
+    def payload(self) -> int:
+        return self.up_payload + self.down_payload
+
+    @property
+    def tue(self) -> float:
+        return tue(self.total, self.data_update_size)
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.overhead / self.total if self.total else 0.0
+
+    @staticmethod
+    def from_meter(meter: TrafficMeter, data_update_size: int) -> "TrafficReport":
+        return TrafficReport(
+            up_payload=meter.up.payload,
+            up_overhead=meter.up.overhead,
+            down_payload=meter.down.payload,
+            down_overhead=meter.down.overhead,
+            data_update_size=data_update_size,
+        )
+
+    @staticmethod
+    def from_snapshot(snapshot: MeterSnapshot, data_update_size: int) -> "TrafficReport":
+        return TrafficReport(
+            up_payload=snapshot.up_payload,
+            up_overhead=snapshot.up_overhead,
+            down_payload=snapshot.down_payload,
+            down_overhead=snapshot.down_overhead,
+            data_update_size=data_update_size,
+        )

@@ -1,0 +1,42 @@
+"""rsync-style delta sync: rolling checksum, signatures, delta streams."""
+
+from .delta import (
+    COPY_TOKEN_BYTES,
+    LITERAL_HEADER_BYTES,
+    CopyOp,
+    Delta,
+    DeltaStats,
+    LiteralOp,
+    apply_delta,
+    compute_delta,
+    diff_stats,
+)
+from .rolling import RollingChecksum, weak_checksum
+from .signature import (
+    DEFAULT_BLOCK_SIZE,
+    SIGNATURE_ENTRY_BYTES,
+    BlockSignature,
+    FileSignature,
+    compute_signature,
+    strong_hash,
+)
+
+__all__ = [
+    "BlockSignature",
+    "COPY_TOKEN_BYTES",
+    "CopyOp",
+    "DEFAULT_BLOCK_SIZE",
+    "Delta",
+    "DeltaStats",
+    "FileSignature",
+    "LITERAL_HEADER_BYTES",
+    "LiteralOp",
+    "RollingChecksum",
+    "SIGNATURE_ENTRY_BYTES",
+    "apply_delta",
+    "compute_delta",
+    "compute_signature",
+    "diff_stats",
+    "strong_hash",
+    "weak_checksum",
+]

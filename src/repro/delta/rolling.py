@@ -1,0 +1,73 @@
+"""rsync's weak rolling checksum (the Adler-32 variant from the tech report).
+
+The incremental data sync (IDS) mechanism the paper observes in Dropbox and
+SugarSync PC clients "works according to the rsync algorithm" (§4.3).  This
+module implements the weak checksum exactly as rsync defines it:
+
+    a(k, l) = sum(X_i)            mod 2^16     for i in [k, l]
+    b(k, l) = sum((l - i + 1)·X_i) mod 2^16
+    s(k, l) = a + 2^16 · b
+
+with the O(1) rolling update that lets the checksum slide one byte at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_M16 = 0xFFFF
+#: Below this window size the pure-Python loop beats numpy's setup cost.
+_VECTOR_THRESHOLD = 64
+
+
+def _sums(data: bytes) -> "tuple[int, int]":
+    """(a, b) component sums of the weak checksum, vectorised when large."""
+    length = len(data)
+    if length >= _VECTOR_THRESHOLD:
+        arr = np.frombuffer(data, dtype=np.uint8).astype(np.uint64)
+        a = int(arr.sum())
+        b = int(np.dot(np.arange(length, 0, -1, dtype=np.uint64), arr))
+        return a & _M16, b & _M16
+    a = 0
+    b = 0
+    for index, byte in enumerate(data):
+        a += byte
+        b += (length - index) * byte
+    return a & _M16, b & _M16
+
+
+def weak_checksum(data: bytes) -> int:
+    """Compute the weak checksum of a whole block."""
+    a, b = _sums(data)
+    return (b << 16) | a
+
+
+class RollingChecksum:
+    """Incrementally maintained weak checksum over a sliding window.
+
+    >>> rc = RollingChecksum(b"abcd")
+    >>> rc.roll(ord("a"), ord("e"))  # window becomes b"bcde"
+    >>> rc.digest == weak_checksum(b"bcde")
+    True
+    """
+
+    __slots__ = ("a", "b", "window_len")
+
+    def __init__(self, window: bytes):
+        self.window_len = len(window)
+        self.a, self.b = _sums(window)
+
+    @property
+    def digest(self) -> int:
+        return (self.b << 16) | self.a
+
+    def roll(self, out_byte: int, in_byte: int) -> None:
+        """Slide the window one byte: drop ``out_byte``, take in ``in_byte``."""
+        self.a = (self.a - out_byte + in_byte) & _M16
+        self.b = (self.b - self.window_len * out_byte + self.a) & _M16
+
+    def roll_out(self, out_byte: int) -> None:
+        """Shrink the window from the left (used at end-of-file tails)."""
+        self.a = (self.a - out_byte) & _M16
+        self.b = (self.b - self.window_len * out_byte) & _M16
+        self.window_len -= 1

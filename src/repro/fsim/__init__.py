@@ -1,0 +1,5 @@
+"""Local filesystem simulation: the sync folder and its change events."""
+
+from .folder import FileEvent, FileOp, MissingFileError, SyncFolder
+
+__all__ = ["FileEvent", "FileOp", "MissingFileError", "SyncFolder"]

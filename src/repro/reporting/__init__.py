@@ -1,0 +1,7 @@
+"""Rendering helpers for tables and figure series."""
+
+from .export import load_json, row_dict, to_csv, to_json
+from .tables import render_series, render_table, size_cell
+
+__all__ = ["load_json", "render_series", "render_table", "row_dict",
+           "size_cell", "to_csv", "to_json"]

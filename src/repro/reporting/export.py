@@ -1,0 +1,80 @@
+"""Result export: persist experiment results as CSV or JSON.
+
+All experiment functions return dataclasses (or lists of them); these
+helpers serialise any such result set for downstream analysis (spreadsheets,
+plotting scripts), complementing the ASCII rendering in
+:mod:`repro.reporting.tables`.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any, Dict, Sequence, Union
+
+
+def _plain(value: Any) -> Any:
+    """Convert experiment values into JSON/CSV-friendly primitives."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return row_dict(value)
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _plain(val) for key, val in value.items()}
+    if isinstance(value, bytes):
+        return value.hex()
+    return value
+
+
+def row_dict(result: Any) -> Dict[str, Any]:
+    """One result dataclass → a flat dict, including computed properties."""
+    if not dataclasses.is_dataclass(result):
+        raise TypeError(f"expected a dataclass instance, got {type(result)}")
+    row = {field.name: _plain(getattr(result, field.name))
+           for field in dataclasses.fields(result)}
+    # Include read-only properties (tue, saving, ...) — they carry the
+    # derived numbers callers usually want.
+    for name in dir(type(result)):
+        attr = getattr(type(result), name, None)
+        if isinstance(attr, property):
+            try:
+                row[name] = _plain(getattr(result, name))
+            except Exception:
+                continue
+    return row
+
+
+def to_json(results: Union[Any, Sequence[Any]], path: Union[str, Path]) -> None:
+    """Write one result or a list of results as pretty-printed JSON."""
+    if dataclasses.is_dataclass(results) and not isinstance(results, type):
+        payload: Any = row_dict(results)
+    else:
+        payload = [row_dict(result) for result in results]
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True,
+                                     default=str) + "\n")
+
+
+def to_csv(results: Sequence[Any], path: Union[str, Path]) -> None:
+    """Write a homogeneous list of result dataclasses as CSV."""
+    rows = [row_dict(result) for result in results]
+    if not rows:
+        Path(path).write_text("")
+        return
+    # Keep only scalar columns; nested structures don't belong in CSV.
+    columns = [key for key, value in rows[0].items()
+               if not isinstance(value, (list, dict))]
+    with Path(path).open("w", newline="") as stream:
+        writer = csv.DictWriter(stream, fieldnames=columns,
+                                extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Read back a JSON export."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,46 @@
+"""ASCII rendering of the paper's tables and figure series.
+
+The benchmark harness prints these so a run of ``pytest benchmarks/``
+regenerates, row for row, what the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..units import fmt_size
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]],
+                 title: Optional[str] = None) -> str:
+    """Monospace table with column auto-sizing."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    pieces = []
+    if title:
+        pieces.append(title)
+    pieces.append(line(headers))
+    pieces.append("-+-".join("-" * w for w in widths))
+    pieces.extend(line(row) for row in materialised)
+    return "\n".join(pieces)
+
+
+def render_series(points: Sequence[Tuple[float, float]],
+                  x_label: str = "x", y_label: str = "y",
+                  title: Optional[str] = None,
+                  x_format: str = "g", y_format: str = ".2f") -> str:
+    """A figure's data series as two aligned columns."""
+    rows = [(format(x, x_format), format(y, y_format)) for x, y in points]
+    return render_table([x_label, y_label], rows, title=title)
+
+
+def size_cell(nbytes: float) -> str:
+    """Table 6/7/8 style byte formatting."""
+    return fmt_size(nbytes)

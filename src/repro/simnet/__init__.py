@@ -1,0 +1,55 @@
+"""Simulated network substrate: event loop, links, protocol costs, metering.
+
+This package replaces the paper's physical measurement rig — real clients on
+real networks captured with Wireshark, shaped by a Netfilter proxy — with a
+deterministic discrete-event equivalent (see DESIGN.md, "Substitutions").
+"""
+
+from .analysis import (
+    KindBreakdown,
+    kind_breakdown,
+    peak_throughput,
+    sync_event_sizes,
+    throughput_series,
+)
+from .clock import Event, SimulationError, Simulator
+from .link import (
+    ACK_SIZE,
+    MSS,
+    PER_PACKET_HEADER,
+    Link,
+    LinkSpec,
+    bj_link,
+    mn_link,
+    packetize,
+)
+from .meter import Direction, MeterSnapshot, TrafficMeter, TrafficRecord, TrafficTotals
+from .netem import NetworkEmulator
+from .protocol import Channel, ProtocolCosts
+
+__all__ = [
+    "ACK_SIZE",
+    "Channel",
+    "KindBreakdown",
+    "kind_breakdown",
+    "peak_throughput",
+    "sync_event_sizes",
+    "throughput_series",
+    "Direction",
+    "Event",
+    "Link",
+    "LinkSpec",
+    "MSS",
+    "MeterSnapshot",
+    "NetworkEmulator",
+    "PER_PACKET_HEADER",
+    "ProtocolCosts",
+    "SimulationError",
+    "Simulator",
+    "TrafficMeter",
+    "TrafficRecord",
+    "TrafficTotals",
+    "bj_link",
+    "mn_link",
+    "packetize",
+]

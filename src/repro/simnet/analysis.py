@@ -1,0 +1,104 @@
+"""Capture analysis: the post-processing the paper does on its pcaps.
+
+Given a :class:`~repro.simnet.meter.TrafficMeter`, these helpers compute
+what the paper extracts from Wireshark captures: totals per traffic kind,
+a time-bucketed throughput series, per-sync-event sizes, and the
+overhead/payload decomposition of Experiment 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .meter import Direction, TrafficMeter, TrafficRecord
+
+
+@dataclass(frozen=True)
+class KindBreakdown:
+    """Bytes and event count for one record kind."""
+
+    kind: str
+    total: int
+    payload: int
+    overhead: int
+    events: int
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.overhead / self.total if self.total else 0.0
+
+
+def kind_breakdown(meter: TrafficMeter) -> List[KindBreakdown]:
+    """Per-kind totals, sorted by descending bytes."""
+    grouped: Dict[str, List[TrafficRecord]] = {}
+    for record in meter.records:
+        grouped.setdefault(record.kind, []).append(record)
+    rows = [
+        KindBreakdown(
+            kind=kind,
+            total=sum(r.total for r in records),
+            payload=sum(r.payload for r in records),
+            overhead=sum(r.overhead for r in records),
+            events=len(records),
+        )
+        for kind, records in grouped.items()
+    ]
+    rows.sort(key=lambda row: row.total, reverse=True)
+    return rows
+
+
+def throughput_series(meter: TrafficMeter, bucket: float = 1.0,
+                      direction: Optional[Direction] = None
+                      ) -> List[Tuple[float, int]]:
+    """(bucket_start_time, bytes) series — the Wireshark I/O graph.
+
+    Empty buckets between active ones are included (zeros), so the series
+    is uniform and plottable.
+    """
+    if bucket <= 0:
+        raise ValueError("bucket must be positive")
+    if not meter.records:
+        return []
+    totals: Dict[int, int] = {}
+    for record in meter.records:
+        if direction is not None and record.direction is not direction:
+            continue
+        totals[int(record.time // bucket)] = \
+            totals.get(int(record.time // bucket), 0) + record.total
+    if not totals:
+        return []
+    first, last = min(totals), max(totals)
+    return [(index * bucket, totals.get(index, 0))
+            for index in range(first, last + 1)]
+
+
+def sync_event_sizes(meter: TrafficMeter, gap: float = 0.5) -> List[int]:
+    """Total bytes of each sync event, where records separated by more than
+    ``gap`` seconds of silence belong to different events.
+
+    This is how the paper attributes capture bytes to individual sync
+    operations when measuring per-operation traffic.
+    """
+    if gap <= 0:
+        raise ValueError("gap must be positive")
+    events: List[int] = []
+    current = 0
+    last_time: Optional[float] = None
+    for record in sorted(meter.records, key=lambda r: r.time):
+        if last_time is not None and record.time - last_time > gap:
+            events.append(current)
+            current = 0
+        current += record.total
+        last_time = record.time
+    if current:
+        events.append(current)
+    return events
+
+
+def peak_throughput(meter: TrafficMeter, bucket: float = 1.0) -> float:
+    """Peak bytes/second over any bucket — the paper's bandwidth probe."""
+    series = throughput_series(meter, bucket)
+    if not series:
+        return 0.0
+    return max(nbytes for _, nbytes in series) / bucket

@@ -1,0 +1,176 @@
+"""Wireshark-equivalent traffic accounting.
+
+The paper records every packet between client and cloud with Wireshark and
+reports *total sync traffic* (both directions), sometimes split into payload
+and overhead (``Overhead traffic = Total sync traffic - payload``,
+Experiment 1).  :class:`TrafficMeter` performs the same accounting on the
+simulated wire: every byte a connection puts on the link is recorded with a
+direction (``UP`` = client→cloud, ``DOWN`` = cloud→client), a payload/overhead
+split, and a free-form kind tag used by tests and reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+
+class Direction(enum.Enum):
+    """Direction of traffic relative to the client."""
+
+    UP = "up"      # client → cloud (the ISP trace's "inbound to the cloud")
+    DOWN = "down"  # cloud → client
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """One metered wire event (a transfer, handshake, ack stream, ...)."""
+
+    time: float
+    direction: Direction
+    payload: int
+    overhead: int
+    kind: str = ""
+
+    @property
+    def total(self) -> int:
+        return self.payload + self.overhead
+
+
+@dataclass
+class TrafficTotals:
+    """Aggregated byte counters for one direction."""
+
+    payload: int = 0
+    overhead: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.payload + self.overhead
+
+    def add(self, payload: int, overhead: int) -> None:
+        self.payload += payload
+        self.overhead += overhead
+
+
+class TrafficMeter:
+    """Accumulates :class:`TrafficRecord` entries and exposes totals.
+
+    One meter is attached per client session; the cloud shares it so both
+    directions of each exchange land in the same ledger, exactly like a
+    capture taken at the client's NIC.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[TrafficRecord] = []
+        self._totals: Dict[Direction, TrafficTotals] = {
+            Direction.UP: TrafficTotals(),
+            Direction.DOWN: TrafficTotals(),
+        }
+
+    def record(
+        self,
+        time: float,
+        direction: Direction,
+        payload: int,
+        overhead: int = 0,
+        kind: str = "",
+    ) -> TrafficRecord:
+        """Meter one wire event; negative byte counts are programming errors."""
+        if payload < 0 or overhead < 0:
+            raise ValueError("traffic byte counts must be non-negative")
+        entry = TrafficRecord(time, direction, int(payload), int(overhead), kind)
+        self.records.append(entry)
+        self._totals[direction].add(entry.payload, entry.overhead)
+        return entry
+
+    # -- totals ----------------------------------------------------------
+
+    @property
+    def up(self) -> TrafficTotals:
+        return self._totals[Direction.UP]
+
+    @property
+    def down(self) -> TrafficTotals:
+        return self._totals[Direction.DOWN]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total sync traffic, both directions — the paper's numerator."""
+        return self.up.total + self.down.total
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.up.payload + self.down.payload
+
+    @property
+    def overhead_bytes(self) -> int:
+        return self.up.overhead + self.down.overhead
+
+    def bytes_by_kind(self) -> Dict[str, int]:
+        """Total bytes grouped by record kind (handshake, payload, ack, ...)."""
+        out: Dict[str, int] = {}
+        for record in self.records:
+            out[record.kind] = out.get(record.kind, 0) + record.total
+        return out
+
+    def snapshot(self) -> "MeterSnapshot":
+        """Capture current totals so a caller can diff across an interval."""
+        return MeterSnapshot(
+            up_payload=self.up.payload,
+            up_overhead=self.up.overhead,
+            down_payload=self.down.payload,
+            down_overhead=self.down.overhead,
+            record_count=len(self.records),
+        )
+
+    def since(self, snapshot: "MeterSnapshot") -> "MeterSnapshot":
+        """Totals accumulated since ``snapshot`` was taken."""
+        return MeterSnapshot(
+            up_payload=self.up.payload - snapshot.up_payload,
+            up_overhead=self.up.overhead - snapshot.up_overhead,
+            down_payload=self.down.payload - snapshot.down_payload,
+            down_overhead=self.down.overhead - snapshot.down_overhead,
+            record_count=len(self.records) - snapshot.record_count,
+        )
+
+    def records_since(self, snapshot: "MeterSnapshot") -> Iterable[TrafficRecord]:
+        return self.records[snapshot.record_count:]
+
+    def reset(self) -> None:
+        self.records.clear()
+        for totals in self._totals.values():
+            totals.payload = 0
+            totals.overhead = 0
+
+
+@dataclass(frozen=True)
+class MeterSnapshot:
+    """Immutable view of meter totals, used both as snapshot and as delta."""
+
+    up_payload: int = 0
+    up_overhead: int = 0
+    down_payload: int = 0
+    down_overhead: int = 0
+    record_count: int = 0
+
+    @property
+    def up_total(self) -> int:
+        return self.up_payload + self.up_overhead
+
+    @property
+    def down_total(self) -> int:
+        return self.down_payload + self.down_overhead
+
+    @property
+    def total(self) -> int:
+        return self.up_total + self.down_total
+
+    @property
+    def payload(self) -> int:
+        return self.up_payload + self.down_payload
+
+    @property
+    def overhead(self) -> int:
+        return self.up_overhead + self.down_overhead

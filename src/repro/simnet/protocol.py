@@ -1,0 +1,189 @@
+"""Transport and application-protocol cost model (TCP + TLS + HTTP).
+
+Every commercial client the paper measures speaks HTTPS to its cloud.  The
+overhead traffic the paper isolates in Experiment 1 ("TCP/HTTP(S) connection
+setup and maintenance, metadata delivery, etc.") is reproduced here as an
+explicit cost model:
+
+* TCP handshake — 3 segments, one RTT before first byte;
+* TLS handshake — ~1.2 KB up / ~3.8 KB down, two more RTTs;
+* HTTP request/response framing per exchange;
+* per-packet TCP/IP headers and the reverse ACK stream (via
+  :mod:`repro.simnet.link`);
+* connection reuse with an idle timeout, so rapid syncs share a connection
+  while widely spaced syncs pay the handshake again.
+
+We deliberately do not model congestion control; the paper's TUE effects
+depend on serialisation delay and RTT counts, not on slow-start dynamics
+(documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .clock import Simulator
+from .link import Link
+from .meter import Direction, TrafficMeter
+
+
+@dataclass
+class ProtocolCosts:
+    """Byte/RTT costs of the HTTPS stack, tunable per service profile."""
+
+    tcp_handshake_up: int = 2 * 66      # SYN + final ACK
+    tcp_handshake_down: int = 66        # SYN-ACK
+    tls_handshake_up: int = 1_200       # ClientHello + key exchange
+    tls_handshake_down: int = 3_800     # ServerHello + certificate chain
+    handshake_rtts: float = 3.0         # TCP (1) + TLS (2)
+    request_header: int = 450           # HTTP request line + headers + TLS framing
+    response_header: int = 350
+    exchange_rtts: float = 1.0          # request→response turnaround
+    idle_timeout: float = 55.0          # keep-alive window before re-handshake
+    use_tls: bool = True
+    #: TCP initial congestion window, segments (slow start restarts after
+    #: idle periods, which sync workloads hit constantly).
+    initial_cwnd: int = 10
+    #: Upload-queue RTT inflation ("bufferbloat"): every protocol round trip
+    #: issued while the uplink queue drains waits behind it.  Real and large
+    #: on low-bandwidth residential uplinks like the paper's BJ vantage point.
+    queue_inflation: float = 6.0
+
+
+class Channel:
+    """One client's HTTPS channel to the cloud, metered end to end.
+
+    All sync traffic flows through :meth:`exchange`; the channel transparently
+    (re-)establishes its connection, meters every byte on the shared
+    :class:`TrafficMeter`, and returns the wall-clock duration of the exchange
+    so the caller can schedule completion events.
+    """
+
+    def __init__(self, sim: Simulator, link: Link, meter: TrafficMeter,
+                 costs: ProtocolCosts = None):
+        self.sim = sim
+        self.link = link
+        self.meter = meter
+        self.costs = costs or ProtocolCosts()
+        self._connected_until: float = -1.0
+        self.handshake_count = 0
+        self.exchange_count = 0
+
+    # -- connection management -------------------------------------------
+
+    def _ensure_connection(self) -> float:
+        """Meter a handshake if the keep-alive window lapsed; return its duration."""
+        now = self.sim.now
+        if now <= self._connected_until:
+            return 0.0
+        costs = self.costs
+        up = costs.tcp_handshake_up
+        down = costs.tcp_handshake_down
+        if costs.use_tls:
+            up += costs.tls_handshake_up
+            down += costs.tls_handshake_down
+        self.meter.record(now, Direction.UP, 0, up, kind="handshake")
+        self.meter.record(now, Direction.DOWN, 0, down, kind="handshake")
+        self.handshake_count += 1
+        return (
+            self.link.round_trip_time(costs.handshake_rtts)
+            + self.link.transfer_time(up, upstream=True)
+            + self.link.transfer_time(down, upstream=False)
+        )
+
+    def _touch(self, end_time: float) -> None:
+        self._connected_until = end_time + self.costs.idle_timeout
+
+    # -- exchanges ---------------------------------------------------------
+
+    def exchange(
+        self,
+        up_payload: int = 0,
+        down_payload: int = 0,
+        kind: str = "exchange",
+        extra_rtts: float = 0.0,
+        up_meta: int = 0,
+        down_meta: int = 0,
+    ) -> float:
+        """Perform one HTTP exchange and return its duration in seconds.
+
+        ``up_payload``/``down_payload`` are file-content bytes (metered as
+        payload).  ``up_meta``/``down_meta`` are service metadata bytes
+        (indexes, JSON envelopes) metered as overhead on top of the fixed
+        HTTP framing.  ``extra_rtts`` models additional protocol round trips
+        (e.g. chunked commit protocols).
+        """
+        duration = self._ensure_connection()
+        costs = self.costs
+        now = self.sim.now
+
+        up_overhead_app = costs.request_header + up_meta
+        down_overhead_app = costs.response_header + down_meta
+
+        up_wire = up_payload + up_overhead_app
+        down_wire = down_payload + down_overhead_app
+        up_hdr, up_acks = self.link.wire_cost(up_wire)
+        down_hdr, down_acks = self.link.wire_cost(down_wire)
+
+        # Loss: expected retransmissions add overhead bytes and recovery RTTs.
+        up_retx = self.link.retransmit_overhead(up_wire + up_hdr)
+        down_retx = self.link.retransmit_overhead(down_wire + down_hdr)
+
+        # Forward bytes (payload split out) + reverse ACK streams.
+        self.meter.record(now, Direction.UP, up_payload,
+                          up_overhead_app + up_hdr + down_acks + up_retx,
+                          kind=kind)
+        self.meter.record(now, Direction.DOWN, down_payload,
+                          down_overhead_app + down_hdr + up_acks + down_retx,
+                          kind=kind)
+
+        up_transfer = self.link.transfer_time(up_wire + up_hdr + up_retx,
+                                              upstream=True)
+        down_transfer = self.link.transfer_time(down_wire + down_hdr + down_retx,
+                                                upstream=False)
+        rtts = (costs.exchange_rtts + extra_rtts + self._slow_start_rtts(up_wire)
+                + self.link.recovery_rtts(up_wire + up_hdr))
+        # Bufferbloat: round trips issued during the upload wait behind the
+        # uplink queue, so each effective RTT stretches by the residual
+        # serialisation delay.
+        queue_delay = costs.queue_inflation * up_transfer
+        duration += (
+            up_transfer + down_transfer
+            + self.link.round_trip_time(rtts) + queue_delay
+        )
+        self.exchange_count += 1
+        end_time = now + duration
+        self._touch(end_time)
+        return duration
+
+    def _slow_start_rtts(self, wire_bytes: int) -> float:
+        """Extra round trips spent growing the congestion window from cold.
+
+        Sync transactions are separated by idle periods long enough for the
+        congestion window to reset, so every exchange restarts slow start.
+        """
+        from .link import MSS
+        segments = -(-wire_bytes // MSS) if wire_bytes > 0 else 0
+        cwnd = max(self.costs.initial_cwnd, 1)
+        rounds = 0
+        while segments > cwnd:
+            segments -= cwnd
+            cwnd *= 2
+            rounds += 1
+        return float(rounds)
+
+    def notify(self, nbytes: int, kind: str = "notification") -> float:
+        """Server→client push (sync notifications, status updates)."""
+        hdr, acks = self.link.wire_cost(nbytes)
+        now = self.sim.now
+        self.meter.record(now, Direction.DOWN, 0, nbytes + hdr, kind=kind)
+        if acks:
+            self.meter.record(now, Direction.UP, 0, acks, kind=kind)
+        duration = self.link.transfer_time(nbytes + hdr, upstream=False) \
+            + self.link.round_trip_time(0.5)
+        self._touch(now + duration)
+        return duration
+
+    def drop_connection(self) -> None:
+        """Force the next exchange to pay a fresh handshake."""
+        self._connected_until = -1.0

@@ -1,0 +1,68 @@
+"""The real-world trace substrate: schema, statistical twin generator,
+analysis (Figures 2 & 5, §4/§5 statistics), and persistence."""
+
+from .analysis import (
+    SMALL_FILE_THRESHOLD,
+    TraceStats,
+    batchable_small_fraction,
+    compressible_fraction,
+    compression_ratio,
+    compression_traffic_saving,
+    dedup_ratio,
+    dedup_ratio_curve,
+    duplicate_file_ratio,
+    modified_fraction,
+    size_cdf,
+    small_file_fraction,
+    summary_stats,
+)
+from .generator import (
+    GeneratorConfig,
+    SERVICE_FILES,
+    SERVICE_USERS,
+    TRACE_SPAN,
+    generate_trace,
+)
+from .io import load_trace, read_csv, save_trace, write_csv
+from .replay import (
+    ReplayReport,
+    modification_share,
+    replay_all,
+    replay_trace,
+    traffic_overuse_fraction,
+)
+from .schema import BLOCK_GRANULARITIES, UNIT_SIZE, FileRecord, Trace
+
+__all__ = [
+    "BLOCK_GRANULARITIES",
+    "FileRecord",
+    "GeneratorConfig",
+    "SERVICE_FILES",
+    "SERVICE_USERS",
+    "SMALL_FILE_THRESHOLD",
+    "TRACE_SPAN",
+    "Trace",
+    "TraceStats",
+    "UNIT_SIZE",
+    "batchable_small_fraction",
+    "compressible_fraction",
+    "compression_ratio",
+    "compression_traffic_saving",
+    "dedup_ratio",
+    "dedup_ratio_curve",
+    "duplicate_file_ratio",
+    "generate_trace",
+    "load_trace",
+    "modified_fraction",
+    "ReplayReport",
+    "read_csv",
+    "replay_all",
+    "replay_trace",
+    "modification_share",
+    "traffic_overuse_fraction",
+    "save_trace",
+    "size_cdf",
+    "small_file_fraction",
+    "summary_stats",
+    "write_csv",
+]

@@ -1,0 +1,231 @@
+"""Trace analyses behind the paper's macro-level findings.
+
+Maps each published statistic to a function:
+
+* Figure 2 — :func:`size_cdf`, :func:`summary_stats`;
+* §4.1 — :func:`small_file_fraction`, :func:`batchable_small_fraction`;
+* §4.3 — :func:`modified_fraction`;
+* §5.1 — :func:`compressible_fraction`, :func:`compression_ratio`,
+  :func:`compression_traffic_saving`;
+* §5.2 / Figure 5 — :func:`dedup_ratio`, :func:`dedup_ratio_curve`,
+  :func:`duplicate_file_ratio`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..units import KB
+from .schema import BLOCK_GRANULARITIES, Trace
+
+SMALL_FILE_THRESHOLD = 100 * KB
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: size distributions
+# ---------------------------------------------------------------------------
+
+def size_cdf(trace: Trace, compressed: bool = False,
+             points: Optional[Sequence[int]] = None) -> List[Tuple[int, float]]:
+    """(size, P[X ≤ size]) pairs — the Figure 2 curves.
+
+    With ``points`` unset, a log-spaced grid from 1 B to the maximum is used.
+    """
+    sizes = np.sort(trace.sizes(compressed=compressed))
+    if len(sizes) == 0:
+        return []
+    if points is None:
+        grid = np.unique(np.logspace(0, np.log10(max(sizes.max(), 2)), 60).astype(np.int64))
+    else:
+        grid = np.asarray(sorted(points), dtype=np.int64)
+    positions = np.searchsorted(sizes, grid, side="right")
+    return [(int(size), float(pos) / len(sizes))
+            for size, pos in zip(grid, positions)]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """The headline numbers the paper quotes for its trace."""
+
+    file_count: int
+    user_count: int
+    mean_size: float
+    median_size: float
+    max_size: int
+    mean_compressed: float
+    median_compressed: float
+    max_compressed: int
+    small_fraction: float            # P[size < 100 KB]
+    small_fraction_compressed: float
+    modified_fraction: float         # P[modified ≥ once]
+    compressible_fraction: float     # P[ratio < 0.9]
+    compression_ratio: float         # Σoriginal / Σcompressed
+    duplicate_file_ratio: float      # duplicate bytes / total bytes
+
+
+def summary_stats(trace: Trace) -> TraceStats:
+    sizes = trace.sizes()
+    compressed = trace.sizes(compressed=True)
+    return TraceStats(
+        file_count=len(trace),
+        user_count=sum(trace.users().values()),
+        mean_size=float(sizes.mean()),
+        median_size=float(np.median(sizes)),
+        max_size=int(sizes.max()),
+        mean_compressed=float(compressed.mean()),
+        median_compressed=float(np.median(compressed)),
+        max_compressed=int(compressed.max()),
+        small_fraction=small_file_fraction(trace),
+        small_fraction_compressed=small_file_fraction(trace, compressed=True),
+        modified_fraction=modified_fraction(trace),
+        compressible_fraction=compressible_fraction(trace),
+        compression_ratio=compression_ratio(trace),
+        duplicate_file_ratio=duplicate_file_ratio(trace),
+    )
+
+
+# ---------------------------------------------------------------------------
+# §4.1: small files and batchability
+# ---------------------------------------------------------------------------
+
+def small_file_fraction(trace: Trace, threshold: int = SMALL_FILE_THRESHOLD,
+                        compressed: bool = False) -> float:
+    """Fraction of files under ``threshold`` (the paper's 77 % / 81 %)."""
+    sizes = trace.sizes(compressed=compressed)
+    if len(sizes) == 0:
+        return 0.0
+    return float((sizes < threshold).mean())
+
+
+def batchable_small_fraction(trace: Trace,
+                             threshold: int = SMALL_FILE_THRESHOLD,
+                             window: float = 5.0) -> float:
+    """Fraction of small files that arrive in creation batches (§4.1's 66 %).
+
+    A small file is batchable when the same user created another small file
+    within ``window`` seconds — exactly the files BDS could combine.
+    """
+    per_user: Dict[Tuple[str, str], List[float]] = {}
+    for record in trace:
+        if record.size < threshold:
+            per_user.setdefault((record.service, record.user), []).append(
+                record.created_at)
+    small_total = 0
+    batchable = 0
+    for times in per_user.values():
+        times.sort()
+        for index, moment in enumerate(times):
+            small_total += 1
+            near_prev = index > 0 and moment - times[index - 1] <= window
+            near_next = (index + 1 < len(times)
+                         and times[index + 1] - moment <= window)
+            if near_prev or near_next:
+                batchable += 1
+    if small_total == 0:
+        return 0.0
+    return batchable / small_total
+
+
+# ---------------------------------------------------------------------------
+# §4.3: modifications
+# ---------------------------------------------------------------------------
+
+def modified_fraction(trace: Trace) -> float:
+    """Fraction of files modified at least once (the paper's 84 %)."""
+    if len(trace) == 0:
+        return 0.0
+    return sum(1 for r in trace if r.was_modified) / len(trace)
+
+
+# ---------------------------------------------------------------------------
+# §5.1: compression
+# ---------------------------------------------------------------------------
+
+def compressible_fraction(trace: Trace) -> float:
+    """Fraction of files with compression ratio < 0.9 (the paper's 52 %)."""
+    if len(trace) == 0:
+        return 0.0
+    return sum(1 for r in trace if r.effectively_compressible) / len(trace)
+
+
+def compression_ratio(trace: Trace) -> float:
+    """Σ original / Σ compressed — the paper's 1.31."""
+    compressed = trace.total_compressed_bytes()
+    if compressed == 0:
+        return 1.0
+    return trace.total_bytes() / compressed
+
+
+def compression_traffic_saving(trace: Trace) -> float:
+    """Fraction of sync bytes compression removes (the paper's 24 %)."""
+    total = trace.total_bytes()
+    if total == 0:
+        return 0.0
+    return 1.0 - trace.total_compressed_bytes() / total
+
+
+# ---------------------------------------------------------------------------
+# §5.2 / Figure 5: deduplication
+# ---------------------------------------------------------------------------
+
+def duplicate_file_ratio(trace: Trace) -> float:
+    """Size of duplicate files / total size (the paper's 18.8 %).
+
+    The first occurrence of each content is the original; later identical
+    files are the duplicates.
+    """
+    total = 0
+    duplicate = 0
+    seen = set()
+    for record in trace:
+        total += record.size
+        key = record.full_file_key()
+        if key in seen:
+            duplicate += record.size
+        else:
+            seen.add(key)
+    if total == 0:
+        return 0.0
+    return duplicate / total
+
+
+def dedup_ratio(trace: Trace, block_size: Optional[int] = None) -> float:
+    """Cross-user dedup ratio = bytes before / bytes after (Figure 5).
+
+    ``block_size=None`` analyses full-file dedup; otherwise head-aligned
+    fixed blocks of the given size.
+    """
+    before = 0
+    after = 0
+    seen = set()
+    if block_size is None:
+        for record in trace:
+            before += record.size
+            key = record.full_file_key()
+            if key not in seen:
+                seen.add(key)
+                after += record.size
+        return before / after if after else 1.0
+    for record in trace:
+        before += record.size
+        for key in record.block_keys(block_size):
+            if key not in seen:
+                seen.add(key)
+                after += key[1]
+    return before / after if after else 1.0
+
+
+def dedup_ratio_curve(
+    trace: Trace,
+    block_sizes: Sequence[int] = BLOCK_GRANULARITIES,
+) -> List[Tuple[Optional[int], float]]:
+    """Figure 5's series: dedup ratio per block size, plus full-file (None)."""
+    curve: List[Tuple[Optional[int], float]] = [
+        (block_size, dedup_ratio(trace, block_size))
+        for block_size in block_sizes
+    ]
+    curve.append((None, dedup_ratio(trace, None)))
+    return curve

@@ -1,0 +1,236 @@
+"""Statistical twin of the paper's collected trace (§3.1).
+
+The original trace (153 users, 222,632 files, Jul 2013 – Mar 2014, six
+services) is no longer downloadable, so this generator synthesises a trace
+matching every aggregate the paper publishes:
+
+* per-service user and file counts (Table 2);
+* the original/compressed size CDFs of Figure 2 (median 7.5 KB / 3.2 KB,
+  mean 962 KB / 732 KB, max 2.0 GB / 1.97 GB);
+* 77 % of files smaller than 100 KB; 66 % of those created in batches (§4.1);
+* 84 % of files modified at least once (§4.3);
+* 52 % of files effectively compressible; overall compression ratio 1.31,
+  i.e. compression saves 24 % of bytes (§5.1);
+* full-file duplicate ratio ≈ 18.8 % of bytes, with block-level dedup only
+  trivially better (§5.2, Figure 5).
+
+Sizes follow a clipped log-normal (heavy right tail: a 7.5 KB median
+coexisting with a ~1 MB mean forces σ ≈ 3), compressibility is
+class-conditional on size (small document-like files compress far better
+than large media files — which is what makes the compressed median drop to
+~3.2 KB while the byte-weighted saving stays at ~24 %), and duplication is
+popularity-weighted with a small near-duplicate (shared-prefix) population
+that gives block-level dedup its slim edge over full-file.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..units import GB, KB, MB
+from .schema import UNIT_SIZE, FileRecord, Trace
+
+#: Table 2 of the paper.
+SERVICE_USERS = {
+    "GoogleDrive": 33, "OneDrive": 24, "Dropbox": 55,
+    "Box": 13, "UbuntuOne": 13, "SugarSync": 15,
+}
+SERVICE_FILES = {
+    "GoogleDrive": 32677, "OneDrive": 17903, "Dropbox": 106493,
+    "Box": 19995, "UbuntuOne": 27281, "SugarSync": 18283,
+}
+
+#: Trace collection window: Jul 2013 → Mar 2014, in seconds.
+TRACE_SPAN = 236 * 24 * 3600.0
+
+_SMALL = 100 * KB
+
+#: Size model: log-normal around the paper's 7.5 KB median, σ tuned so the
+#: clipped mean lands near 962 KB (validated in tests/test_trace.py).
+_SIZE_MU = float(np.log(7.5 * KB))
+_SIZE_SIGMA = 3.17
+_SIZE_MAX = 2 * GB
+
+#: Compressibility classes: (probability compressible | small/large,
+#: compressible-ratio range, incompressible-ratio range).
+_P_COMPRESSIBLE_SMALL = 0.56
+_P_COMPRESSIBLE_LARGE = 0.37
+_RATIO_COMPRESSIBLE_SMALL = (0.18, 0.50)
+_RATIO_COMPRESSIBLE_LARGE = (0.25, 0.52)
+_RATIO_INCOMPRESSIBLE = (0.935, 1.0)
+
+#: Duplication model.  Sources are capped in size: users duplicate documents
+#: and media, not half-terabyte archives — and the cap keeps the
+#: byte-weighted duplicate ratio stable across trace scales.
+_P_DUPLICATE = 0.22
+_P_NEAR_DUPLICATE = 0.050
+_NEAR_SHARE_RANGE = (0.3, 0.9)
+_DUP_SOURCE_MAX = 512 * MB
+
+#: Modification model (84 % modified at least once).
+_P_MODIFIED = 0.84
+
+#: Burst model for creation times (drives the 66 % batchable statistic).
+_P_SOLO_CREATE = 0.86
+_BURST_MAX = 24
+_BURST_SPACING = (0.05, 2.0)
+
+_EXTENSIONS_COMPRESSIBLE = ("txt", "csv", "doc", "xls", "htm", "log", "xml", "tex")
+_EXTENSIONS_INCOMPRESSIBLE = ("jpg", "png", "mp3", "mp4", "zip", "pdf", "gz", "apk")
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for the trace generator; defaults reproduce the paper's trace."""
+
+    scale: float = 1.0          # shrink user/file counts (tests use < 1)
+    seed: int = 42
+    services: Optional[Dict[str, Tuple[int, int]]] = None  # name -> (users, files)
+
+    def service_plan(self) -> Dict[str, Tuple[int, int]]:
+        if self.services is not None:
+            return self.services
+        return {
+            name: (max(1, round(SERVICE_USERS[name] * self.scale)),
+                   max(1, round(SERVICE_FILES[name] * self.scale)))
+            for name in SERVICE_USERS
+        }
+
+
+class _SegmentFactory:
+    """Allocates globally unique 128 KB segment ids."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def fresh(self, count: int) -> np.ndarray:
+        ids = np.arange(self._next, self._next + count, dtype=np.int64)
+        self._next += count
+        return ids
+
+
+def _unit_count(size: int) -> int:
+    return max(1, -(-size // UNIT_SIZE))
+
+
+def generate_trace(scale: float = 1.0, seed: int = 42,
+                   config: Optional[GeneratorConfig] = None) -> Trace:
+    """Generate the statistical twin trace.
+
+    ``scale`` < 1 produces a proportionally smaller trace with the same
+    distributions (unit tests use ``scale≈0.02``; benches use 1.0).
+    """
+    config = config or GeneratorConfig(scale=scale, seed=seed)
+    rng = np.random.default_rng(config.seed)
+    segments = _SegmentFactory()
+    trace = Trace()
+    #: Global pool of prior originals for duplicate/near-duplicate sampling.
+    pool: List[FileRecord] = []
+    file_counter = itertools.count()
+
+    for service, (n_users, n_files) in sorted(config.service_plan().items()):
+        users = [f"{service.lower()}-user{idx:03d}" for idx in range(n_users)]
+        # Zipf-ish activity: a few heavy users own most files (observed in
+        # every storage-trace study the paper builds on).
+        weights = 1.0 / np.arange(1, n_users + 1) ** 0.7
+        weights /= weights.sum()
+        files_left = n_files
+        while files_left > 0:
+            user = users[int(rng.choice(n_users, p=weights))]
+            if rng.random() < _P_SOLO_CREATE:
+                burst = 1
+            else:
+                burst = int(rng.integers(2, _BURST_MAX + 1))
+            burst = min(burst, files_left)
+            start = float(rng.random() * TRACE_SPAN)
+            offset = 0.0
+            for _ in range(burst):
+                offset += float(rng.uniform(*_BURST_SPACING))
+                record = _make_record(
+                    rng, segments, pool, service, user,
+                    created_at=start + offset,
+                    index=next(file_counter),
+                )
+                trace.records.append(record)
+            files_left -= burst
+    return trace
+
+
+def _draw_size(rng: np.random.Generator) -> int:
+    size = int(rng.lognormal(_SIZE_MU, _SIZE_SIGMA))
+    return int(min(max(size, 1), _SIZE_MAX))
+
+
+def _draw_ratio(rng: np.random.Generator, size: int) -> float:
+    small = size < _SMALL
+    p_compressible = _P_COMPRESSIBLE_SMALL if small else _P_COMPRESSIBLE_LARGE
+    if rng.random() < p_compressible:
+        lo, hi = (_RATIO_COMPRESSIBLE_SMALL if small
+                  else _RATIO_COMPRESSIBLE_LARGE)
+    else:
+        lo, hi = _RATIO_INCOMPRESSIBLE
+    return float(rng.uniform(lo, hi))
+
+
+def _make_record(rng: np.random.Generator, segments: _SegmentFactory,
+                 pool: List[FileRecord], service: str, user: str,
+                 created_at: float, index: int) -> FileRecord:
+    duplicate_of: Optional[FileRecord] = None
+    near_source: Optional[FileRecord] = None
+    roll = rng.random()
+    if pool and roll < _P_DUPLICATE:
+        candidate = pool[int(rng.integers(len(pool)))]
+        if candidate.size <= _DUP_SOURCE_MAX:
+            duplicate_of = candidate
+    elif pool and roll < _P_DUPLICATE + _P_NEAR_DUPLICATE:
+        candidate = pool[int(rng.integers(len(pool)))]
+        if candidate.size <= _DUP_SOURCE_MAX:
+            near_source = candidate
+
+    if duplicate_of is not None:
+        size = duplicate_of.size
+        compressed = duplicate_of.compressed_size
+        segment_ids = duplicate_of.segments
+        content_id = duplicate_of.content_id
+    elif near_source is not None and len(near_source.segments) >= 2:
+        share = float(rng.uniform(*_NEAR_SHARE_RANGE))
+        shared_units = max(1, int(len(near_source.segments) * share))
+        size = _draw_size(rng)
+        size = max(size, shared_units * UNIT_SIZE)
+        fresh = segments.fresh(_unit_count(size) - shared_units) \
+            if _unit_count(size) > shared_units else np.empty(0, dtype=np.int64)
+        segment_ids = np.concatenate(
+            [near_source.segments[:shared_units], fresh])
+        compressed = max(1, int(size * _draw_ratio(rng, size)))
+        content_id = index
+    else:
+        size = _draw_size(rng)
+        segment_ids = segments.fresh(_unit_count(size))
+        compressed = max(1, int(size * _draw_ratio(rng, size)))
+        content_id = index
+
+    modify_count = 0
+    modified_at = created_at
+    if rng.random() < _P_MODIFIED:
+        modify_count = 1 + int(rng.geometric(0.35))
+        modified_at = created_at + float(rng.exponential(14 * 24 * 3600.0))
+
+    compressible = compressed / max(size, 1) < 0.9
+    extensions = (_EXTENSIONS_COMPRESSIBLE if compressible
+                  else _EXTENSIONS_INCOMPRESSIBLE)
+    extension = extensions[int(rng.integers(len(extensions)))]
+    record = FileRecord(
+        user=user, service=service,
+        path=f"{user}/f{index:07d}.{extension}",
+        size=size, compressed_size=compressed,
+        created_at=created_at, modified_at=modified_at,
+        modify_count=modify_count,
+        segments=segment_ids, content_id=content_id,
+    )
+    if duplicate_of is None:
+        pool.append(record)
+    return record

@@ -1,0 +1,114 @@
+"""Trace persistence: CSV (and zip) round-trip.
+
+The paper shipped its trace as a downloadable archive; we do the same.  Each
+row serialises one :class:`~repro.trace.schema.FileRecord`, including the
+content identity (the 128 KB segment ids) as a run-length-encoded list so
+duplicate/near-duplicate structure — and therefore every dedup analysis —
+survives the round trip exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import zipfile
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .schema import FileRecord, Trace
+
+_FIELDS = [
+    "user", "service", "path", "size", "compressed_size",
+    "created_at", "modified_at", "modify_count", "content_id", "segments",
+]
+
+
+def _encode_segments(segments: np.ndarray) -> str:
+    """Run-length encode consecutive id runs: ``start:length;start:length``."""
+    if len(segments) == 0:
+        return ""
+    runs = []
+    start = int(segments[0])
+    length = 1
+    for value in segments[1:]:
+        value = int(value)
+        if value == start + length:
+            length += 1
+        else:
+            runs.append(f"{start}:{length}")
+            start = value
+            length = 1
+    runs.append(f"{start}:{length}")
+    return ";".join(runs)
+
+
+def _decode_segments(text: str) -> np.ndarray:
+    if not text:
+        return np.empty(0, dtype=np.int64)
+    pieces = []
+    for run in text.split(";"):
+        start, length = run.split(":")
+        pieces.append(np.arange(int(start), int(start) + int(length),
+                                dtype=np.int64))
+    return np.concatenate(pieces)
+
+
+def write_csv(trace: Trace, stream) -> None:
+    writer = csv.DictWriter(stream, fieldnames=_FIELDS)
+    writer.writeheader()
+    for record in trace:
+        writer.writerow({
+            "user": record.user,
+            "service": record.service,
+            "path": record.path,
+            "size": record.size,
+            "compressed_size": record.compressed_size,
+            "created_at": repr(record.created_at),
+            "modified_at": repr(record.modified_at),
+            "modify_count": record.modify_count,
+            "content_id": record.content_id,
+            "segments": _encode_segments(record.segments),
+        })
+
+
+def read_csv(stream) -> Trace:
+    trace = Trace()
+    for row in csv.DictReader(stream):
+        trace.records.append(FileRecord(
+            user=row["user"],
+            service=row["service"],
+            path=row["path"],
+            size=int(row["size"]),
+            compressed_size=int(row["compressed_size"]),
+            created_at=float(row["created_at"]),
+            modified_at=float(row["modified_at"]),
+            modify_count=int(row["modify_count"]),
+            segments=_decode_segments(row["segments"]),
+            content_id=int(row["content_id"]),
+        ))
+    return trace
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to ``*.csv`` or, with a ``.zip`` suffix, a zip archive."""
+    path = Path(path)
+    if path.suffix == ".zip":
+        buffer = io.StringIO()
+        write_csv(trace, buffer)
+        with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+            archive.writestr("trace.csv", buffer.getvalue())
+        return
+    with path.open("w", newline="") as stream:
+        write_csv(trace, stream)
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    path = Path(path)
+    if path.suffix == ".zip":
+        with zipfile.ZipFile(path) as archive:
+            with archive.open("trace.csv") as raw:
+                return read_csv(io.TextIOWrapper(raw, encoding="utf-8"))
+    with path.open(newline="") as stream:
+        return read_csv(stream)

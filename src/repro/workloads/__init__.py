@@ -1,0 +1,21 @@
+"""Reusable workload generators for sessions and experiments."""
+
+from .generators import (
+    Workload,
+    appending_stream,
+    collaborative_editing,
+    log_rotation,
+    mixed_office,
+    photo_import,
+    source_tree_checkout,
+)
+
+__all__ = [
+    "Workload",
+    "appending_stream",
+    "collaborative_editing",
+    "log_rotation",
+    "mixed_office",
+    "photo_import",
+    "source_tree_checkout",
+]

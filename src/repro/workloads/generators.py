@@ -1,0 +1,149 @@
+"""Workload generators: the usage patterns the paper's introduction motivates.
+
+Each generator drives a :class:`~repro.client.SyncSession` through one
+realistic scenario and returns the *data update size* (the TUE denominator),
+so any workload composes with any profile, machine, or link:
+
+    workload = photo_import(count=50)
+    update_bytes = workload(session)
+    session.run_until_idle()
+    print(session.total_traffic / update_bytes)
+
+All generators are deterministic given their arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..client import SyncSession
+from ..content import random_content, text_content
+from ..units import KB, MB
+
+#: A workload drives a session and returns the data update size in bytes.
+Workload = Callable[[SyncSession], int]
+
+
+def photo_import(count: int = 30, photo_size: int = 2 * MB,
+                 seed: int = 0) -> Workload:
+    """Import a camera roll: incompressible media, uploaded once.
+
+    The workload Google Drive's full-file sync is "more suitable for" per
+    §4.3 — no modifications ever happen.
+    """
+    def run(session: SyncSession) -> int:
+        for index in range(count):
+            session.create_file(
+                f"photos/IMG_{seed:02d}{index:04d}.jpg",
+                random_content(photo_size, seed=seed * 10_000 + index))
+        session.run_until_idle()
+        return count * photo_size
+    return run
+
+
+def source_tree_checkout(files: int = 150, mean_size: int = 4 * KB,
+                         seed: int = 0) -> Workload:
+    """Drop a tree of small compressible text files in at once (§4.1's
+    small-file batch, the BDS showcase)."""
+    def run(session: SyncSession) -> int:
+        total = 0
+        for index in range(files):
+            size = mean_size // 2 + (index * 977) % mean_size
+            session.create_file(
+                f"src/pkg{index % 12}/mod{index:04d}.py",
+                text_content(size, seed=seed * 10_000 + index))
+            total += size
+        session.run_until_idle()
+        return total
+    return run
+
+
+def collaborative_editing(saves: int = 60, save_period: float = 6.0,
+                          save_bytes: int = 2 * KB, seed: int = 0) -> Workload:
+    """An author saving a growing document every few seconds (§6)."""
+    def run(session: SyncSession) -> int:
+        session.create_file("draft.tex", random_content(0))
+        session.run_until_idle()
+        for index in range(saves):
+            session.append("draft.tex",
+                           random_content(save_bytes, seed=seed * 10_000 + index))
+            session.advance(save_period)
+        session.run_until_idle()
+        return saves * save_bytes
+    return run
+
+
+def appending_stream(total: int = 1 * MB, chunk: int = 1 * KB,
+                     period: float = 1.0, seed: int = 0) -> Workload:
+    """The paper's raw "X KB / X sec" primitive as a workload."""
+    def run(session: SyncSession) -> int:
+        session.create_file("stream.bin", random_content(0))
+        session.run_until_idle()
+        appended = 0
+        index = 0
+        while appended < total:
+            step = min(chunk, total - appended)
+            session.append("stream.bin",
+                           random_content(step, seed=seed * 10_000 + index))
+            appended += step
+            index += 1
+            session.advance(period)
+        session.run_until_idle()
+        return appended
+    return run
+
+
+def log_rotation(rotations: int = 5, grow_to: int = 256 * KB,
+                 step: int = 32 * KB, period: float = 10.0,
+                 seed: int = 0) -> Workload:
+    """A log that grows in bursts and is truncated at each rotation."""
+    def run(session: SyncSession) -> int:
+        session.create_file("app.log", random_content(0))
+        session.run_until_idle()
+        update = 0
+        counter = 0
+        for _ in range(rotations):
+            grown = 0
+            while grown < grow_to:
+                session.append("app.log",
+                               random_content(step, seed=seed * 10_000 + counter))
+                grown += step
+                update += step
+                counter += 1
+                session.advance(period)
+            session.folder.truncate("app.log", 0)
+            update += grow_to  # truncation alters the whole grown region
+            session.advance(period)
+        session.run_until_idle()
+        return update
+    return run
+
+
+def mixed_office(seed: int = 0) -> Workload:
+    """A day of office work: documents created, edited, renamed, duplicated,
+    and a couple of large attachments — every §4/§5 mechanism touched."""
+    def run(session: SyncSession) -> int:
+        update = 0
+        for index in range(20):
+            size = 8 * KB + (index * 3677) % (32 * KB)
+            session.create_file(f"docs/report{index:02d}.doc",
+                                text_content(size, seed=seed * 10_000 + index))
+            update += size
+        session.run_until_idle()
+        for index in range(0, 20, 2):
+            session.modify_random_byte(f"docs/report{index:02d}.doc",
+                                       seed=seed + index)
+            update += 1
+            session.advance(30.0)
+        session.run_until_idle()
+        attachment = random_content(3 * MB, seed=seed + 999)
+        session.create_file("mail/specs.zip", attachment)
+        update += attachment.size
+        session.run_until_idle()
+        session.create_file("archive/specs-copy.zip", attachment)  # duplicate
+        update += attachment.size
+        session.run_until_idle()
+        session.folder.rename("docs/report00.doc", "docs/final.doc")
+        session.run_until_idle()
+        return update
+    return run

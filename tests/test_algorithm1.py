@@ -1,0 +1,123 @@
+"""Tests for Algorithm 1 (iterative self-duplication) and the defer probe."""
+
+import pytest
+
+from repro.client import AccessMethod, SyncSession, service_profile
+from repro.cloud import CloudServer, DedupConfig
+from repro.core import (
+    detect_full_file_dedup,
+    infer_sync_deferment,
+    iterative_self_duplication,
+)
+from repro.core.algorithm1 import _paired_sessions, experiment5_dedup
+from repro.simnet import Simulator, mn_link
+from repro.units import KB, MB
+
+
+def custom_session(dedup: DedupConfig, storage_chunk=None) -> SyncSession:
+    """A Dropbox-like client against a cloud with a custom dedup config."""
+    profile = service_profile("Box", AccessMethod.PC)  # plain full-file client
+    server = CloudServer(dedup=dedup, storage_chunk_size=storage_chunk)
+    # Override the profile's dedup with the server's (negotiation follows
+    # profile.dedup.enabled, so rebuild the profile).
+    from dataclasses import replace
+    profile = replace(profile, dedup=dedup, storage_chunk_size=storage_chunk)
+    return SyncSession(profile, server=server)
+
+
+def test_detect_full_file_dedup_positive_and_negative():
+    yes = custom_session(DedupConfig.full_file())
+    assert detect_full_file_dedup(yes, size=256 * KB)
+    no = custom_session(DedupConfig.none())
+    assert not detect_full_file_dedup(no, size=256 * KB)
+
+
+def test_self_duplication_finds_power_of_two_block():
+    session = custom_session(DedupConfig.block(1 * MB), storage_chunk=1 * MB)
+    result = iterative_self_duplication(session, initial_guess=256 * KB,
+                                        max_block=8 * MB)
+    assert result.granularity == 1 * MB
+    assert result.full_file  # block dedup implies full-file dedup
+
+
+def test_self_duplication_confirmation_rejects_multiple_of_b():
+    """Starting *above* B at a multiple must not fool the probe."""
+    session = custom_session(DedupConfig.block(1 * MB), storage_chunk=1 * MB)
+    result = iterative_self_duplication(session, initial_guess=4 * MB,
+                                        max_block=8 * MB)
+    assert result.granularity == pytest.approx(1 * MB, rel=0.3)
+
+
+def test_self_duplication_reports_none_without_dedup():
+    session = custom_session(DedupConfig.none())
+    result = iterative_self_duplication(session, initial_guess=256 * KB,
+                                        max_block=2 * MB)
+    assert result.granularity is None
+    assert not result.full_file
+    assert result.label() == "No"
+
+
+def test_self_duplication_full_file_only():
+    session = custom_session(DedupConfig.full_file())
+    result = iterative_self_duplication(session, initial_guess=256 * KB,
+                                        max_block=2 * MB)
+    assert result.granularity is None
+    assert result.full_file
+    assert result.label() == "Full file"
+
+
+def test_probe_rounds_are_logarithmic():
+    session = custom_session(DedupConfig.block(2 * MB), storage_chunk=2 * MB)
+    result = iterative_self_duplication(session, initial_guess=256 * KB,
+                                        max_block=16 * MB)
+    assert result.granularity == 2 * MB
+    # O(log B) iterations: doubling 256K→2M is 3 rounds, plus the hit.
+    assert len(result.rounds) <= 6
+
+
+def test_table9_dropbox_and_ubuntuone():
+    """The two interesting rows of Table 9, end to end."""
+    findings = {f.service: f
+                for f in experiment5_dedup(services=("Dropbox", "UbuntuOne"),
+                                           max_block=8 * MB)}
+    assert findings["Dropbox"].same_user == "4 MB"
+    assert findings["Dropbox"].cross_user == "No"
+    assert findings["UbuntuOne"].same_user == "Full file"
+    assert findings["UbuntuOne"].cross_user == "Full file"
+
+
+def test_table9_no_dedup_service():
+    findings = experiment5_dedup(services=("SugarSync",), max_block=2 * MB)
+    assert findings[0].same_user == "No"
+    assert findings[0].cross_user == "No"
+
+
+def test_paired_sessions_share_cloud_and_clock():
+    alice, bob = _paired_sessions("Dropbox", AccessMethod.PC)
+    assert alice.server is bob.server
+    assert alice.sim is bob.sim
+    assert alice.client.user != bob.client.user
+
+
+# ---------------------------------------------------------------------------
+# defer probe
+# ---------------------------------------------------------------------------
+
+def test_defer_probe_finds_google_drive():
+    result = infer_sync_deferment("GoogleDrive")
+    assert result.deferment == pytest.approx(4.2, abs=0.15)
+
+
+def test_defer_probe_finds_onedrive():
+    result = infer_sync_deferment("OneDrive")
+    assert result.deferment == pytest.approx(10.5, abs=0.2)
+
+
+def test_defer_probe_finds_sugarsync():
+    result = infer_sync_deferment("SugarSync")
+    assert result.deferment == pytest.approx(6.0, abs=0.2)
+
+
+def test_defer_probe_rejects_no_defer_service():
+    result = infer_sync_deferment("Dropbox")
+    assert result.deferment is None

@@ -1,0 +1,85 @@
+"""Tests for content-defined chunking (the §5.2 footnote counterfactual)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking import cdc_chunks, cdc_spans, chunk_data, shared_bytes
+from repro.chunking.cdc import DEFAULT_AVG, DEFAULT_MAX, DEFAULT_MIN
+from repro.content import random_content
+
+
+def test_spans_partition_exactly():
+    data = random_content(300_000, seed=1).data
+    spans = cdc_spans(data)
+    assert spans[0][0] == 0
+    total = 0
+    for offset, length in spans:
+        assert offset == total
+        total += length
+    assert total == len(data)
+
+
+def test_span_length_bounds():
+    data = random_content(500_000, seed=2).data
+    for offset, length in cdc_spans(data)[:-1]:   # final chunk may be short
+        assert DEFAULT_MIN <= length <= DEFAULT_MAX
+
+
+def test_mean_chunk_near_average():
+    data = random_content(1_000_000, seed=3).data
+    spans = cdc_spans(data)
+    mean = len(data) / len(spans)
+    assert DEFAULT_AVG / 2 < mean < DEFAULT_AVG * 2
+
+
+def test_empty_data():
+    assert cdc_spans(b"") == [(0, 0)]
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        cdc_spans(b"x", min_size=0)
+    with pytest.raises(ValueError):
+        cdc_spans(b"x", min_size=100, avg_size=50, max_size=200)
+
+
+def test_deterministic():
+    data = random_content(100_000, seed=4).data
+    assert cdc_spans(data) == cdc_spans(data)
+
+
+def test_insert_resilience_beats_fixed():
+    """The whole point: a front insert destroys fixed-block alignment but
+    leaves content-defined boundaries nearly intact."""
+    old = random_content(400_000, seed=5).data
+    new = b"PREFIX" + old
+    fixed = lambda d: chunk_data(d, 8192)
+    cdc = lambda d: cdc_chunks(d)
+    assert shared_bytes(old, new, fixed) == 0
+    assert shared_bytes(old, new, cdc) > 0.9 * len(old)
+
+
+def test_identical_data_fully_shared():
+    data = random_content(200_000, seed=6).data
+    assert shared_bytes(data, data, cdc_chunks) == len(data)
+
+
+def test_chunks_reassemble():
+    data = random_content(150_000, seed=7).data
+    chunks = cdc_chunks(data)
+    assert b"".join(chunk.data for chunk in chunks) == data
+
+
+@given(st.binary(min_size=1, max_size=60_000),
+       st.integers(min_value=0, max_value=59_999),
+       st.binary(min_size=1, max_size=200))
+@settings(max_examples=25, deadline=None)
+def test_insert_property(data, offset, patch):
+    """For any insert, CDC shares at least as many bytes as fixed blocks."""
+    offset = offset % (len(data) + 1)
+    new = data[:offset] + patch + data[offset:]
+    fixed = lambda d: chunk_data(d, 4096)
+    cdc = lambda d: cdc_chunks(d, min_size=512, avg_size=2048, max_size=8192)
+    assert shared_bytes(data, new, cdc) >= 0
+    spans_ok = cdc_spans(new, min_size=512, avg_size=2048, max_size=8192)
+    assert sum(length for _, length in spans_ok) == len(new)

@@ -1,0 +1,68 @@
+"""Unit tests for fixed-size chunking and fingerprints."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking import Chunk, chunk_data, chunk_spans, fingerprint, fingerprints
+
+
+def test_fingerprint_is_md5():
+    assert fingerprint(b"abc") == hashlib.md5(b"abc").hexdigest()
+
+
+def test_spans_cover_exactly():
+    spans = chunk_spans(2500, 1000)
+    assert spans == [(0, 1000), (1000, 1000), (2000, 500)]
+
+
+def test_spans_exact_multiple():
+    assert chunk_spans(2000, 1000) == [(0, 1000), (1000, 1000)]
+
+
+def test_empty_file_has_one_empty_span():
+    assert chunk_spans(0, 1000) == [(0, 0)]
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        chunk_spans(10, 0)
+    with pytest.raises(ValueError):
+        chunk_spans(-1, 10)
+
+
+def test_chunk_data_contents():
+    data = bytes(range(10)) * 100
+    chunks = chunk_data(data, 300)
+    assert b"".join(c.data for c in chunks) == data
+    for chunk in chunks:
+        assert chunk.digest == fingerprint(chunk.data)
+
+
+def test_chunk_data_without_payload():
+    data = b"x" * 1000
+    chunks = chunk_data(data, 300, keep_data=False)
+    assert all(c.data == b"" for c in chunks)
+    assert [c.length for c in chunks] == [300, 300, 300, 100]
+
+
+def test_chunk_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Chunk(index=0, offset=0, length=5, digest="d", data=b"abc")
+
+
+def test_identical_chunks_share_digest():
+    data = b"A" * 2000
+    digests = fingerprints(data, 1000)
+    assert digests[0] == digests[1]
+
+
+@given(st.binary(max_size=5000), st.integers(min_value=1, max_value=999))
+@settings(max_examples=50, deadline=None)
+def test_chunking_partition_property(data, chunk_size):
+    chunks = chunk_data(data, chunk_size)
+    assert b"".join(c.data for c in chunks) == data
+    if data:
+        assert all(c.length == chunk_size for c in chunks[:-1])
+        assert 0 < chunks[-1].length <= chunk_size

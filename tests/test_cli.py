@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+def test_list(capsys):
+    out = run(capsys, "list")
+    assert "table6" in out and "probe-dedup" in out
+
+
+def test_table6(capsys):
+    out = run(capsys, "table6")
+    assert "GoogleDrive" in out and "Dropbox" in out
+
+
+def test_table7_web(capsys):
+    out = run(capsys, "table7", "--access", "web")
+    assert "UbuntuOne" in out
+
+
+def test_fig3(capsys):
+    out = run(capsys, "fig3", "--service", "Box")
+    assert "TUE" in out
+
+
+def test_fig6(capsys):
+    out = run(capsys, "fig6", "--service", "GoogleDrive", "--max-x", "6",
+              "--total", str(64 * 1024))
+    assert "Figure 6" in out
+
+
+def test_deletion(capsys):
+    out = run(capsys, "deletion")
+    assert "Deletion traffic" in out
+
+
+def test_probe_defer(capsys):
+    out = run(capsys, "probe-defer", "GoogleDrive")
+    assert "4.2" in out
+
+
+def test_probe_dedup(capsys):
+    out = run(capsys, "probe-dedup", "UbuntuOne", "--max-block",
+              str(2 * 1024 * 1024))
+    assert "Full file" in out
+
+
+def test_trace_and_save(tmp_path, capsys):
+    out_path = tmp_path / "t.zip"
+    out = run(capsys, "trace", "--scale", "0.005", "--out", str(out_path))
+    assert "files" in out
+    assert out_path.exists()
+
+
+def test_replay(capsys):
+    out = run(capsys, "replay", "--scale", "0.005")
+    assert "Macro replay" in out and "Dropbox" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_rejects_bad_access():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table6", "--access", "fax"])
+
+
+def test_overuse(capsys):
+    out = run(capsys, "overuse", "--scale", "0.01")
+    assert "overuse" in out.lower()
+
+
+def test_upgrades_single_service(capsys):
+    out = run(capsys, "upgrades", "--services", "Box")
+    assert "Box" in out and "ids" in out

@@ -1,0 +1,116 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.simnet import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, "c")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    sim.run_until_idle()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_run_fifo():
+    sim = Simulator()
+    order = []
+    for label in "abc":
+        sim.schedule(1.0, order.append, label)
+    sim.run_until_idle()
+    assert order == ["a", "b", "c"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-0.1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, 1)
+    event.cancel()
+    sim.run_until_idle()
+    assert fired == []
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(sim.now)
+        sim.schedule(2.0, second)
+
+    def second():
+        seen.append(sim.now)
+
+    sim.schedule(1.0, first)
+    sim.run_until_idle()
+    assert seen == [1.0, 3.0]
+
+
+def test_run_until_stops_at_time_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(10.0, fired.append, "late")
+    sim.run_until(5.0)
+    assert fired == ["early"]
+    assert sim.now == 5.0
+    sim.run_until_idle()
+    assert fired == ["early", "late"]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    times = []
+    sim.schedule_at(4.0, lambda: times.append(sim.now))
+    sim.run_until_idle()
+    assert times == [4.0]
+
+
+def test_peek_next_time_skips_cancelled():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    first.cancel()
+    assert sim.peek_next_time() == 2.0
+
+
+def test_pending_count_excludes_cancelled():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sim.pending_count() == 1
+    keep.cancel()
+    assert sim.pending_count() == 0
+
+
+def test_runaway_simulation_detected():
+    sim = Simulator()
+
+    def rescheduler():
+        sim.schedule(0.001, rescheduler)
+
+    sim.schedule(0.0, rescheduler)
+    with pytest.raises(SimulationError):
+        sim.run_until_idle(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False

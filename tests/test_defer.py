@@ -1,0 +1,151 @@
+"""Unit and property tests for the defer policies, especially ASD (Eq. 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.client import (
+    AdaptiveSyncDefer,
+    ByteCounterDefer,
+    FixedDefer,
+    NoDefer,
+)
+from repro.client.defer import ScanIntervalDefer
+
+
+def feed(policy, times, nbytes=1024):
+    state = policy.new_state()
+    for moment in times:
+        policy.on_update(state, moment, nbytes)
+    return state
+
+
+def test_no_defer_is_immediate():
+    policy = NoDefer()
+    state = feed(policy, [5.0])
+    assert policy.eligible_at(state) == 5.0
+
+
+def test_fixed_defer_quiescence_resets():
+    policy = FixedDefer(4.2)
+    state = feed(policy, [0.0, 1.0, 2.0])
+    assert policy.eligible_at(state) == pytest.approx(2.0 + 4.2)
+
+
+def test_fixed_defer_validation():
+    with pytest.raises(ValueError):
+        FixedDefer(0)
+
+
+def test_asd_tracks_inter_update_gap():
+    """Eq. 2: T_i converges to slightly above a steady Δt."""
+    policy = AdaptiveSyncDefer(initial_defer=1.0, epsilon=0.5, t_max=30.0)
+    state = policy.new_state()
+    gap = 5.0
+    for step in range(20):
+        policy.on_update(state, step * gap, 1024)
+    # Fixed point of T = T/2 + Δt/2 + ε is Δt + 2ε.
+    assert state.current_defer == pytest.approx(gap + 2 * 0.5, abs=0.05)
+    assert policy.eligible_at(state) > state.last_update + gap
+
+
+def test_asd_capped_at_t_max():
+    policy = AdaptiveSyncDefer(initial_defer=1.0, epsilon=0.5, t_max=10.0)
+    state = policy.new_state()
+    for step in range(10):
+        policy.on_update(state, step * 100.0, 1)
+    assert state.current_defer <= 10.0
+
+
+def test_asd_first_update_keeps_initial_defer():
+    policy = AdaptiveSyncDefer(initial_defer=2.0)
+    state = policy.new_state()
+    policy.on_update(state, 0.0, 1)
+    assert state.current_defer == 2.0
+
+
+def test_asd_validation():
+    with pytest.raises(ValueError):
+        AdaptiveSyncDefer(epsilon=0.0)
+    with pytest.raises(ValueError):
+        AdaptiveSyncDefer(epsilon=1.0)
+    with pytest.raises(ValueError):
+        AdaptiveSyncDefer(t_max=0)
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=50.0), min_size=1, max_size=40),
+       st.floats(min_value=0.05, max_value=0.95),
+       st.floats(min_value=1.0, max_value=60.0))
+@settings(max_examples=60, deadline=None)
+def test_asd_invariants_property(gaps, epsilon, t_max):
+    """T_i stays within (0, T_max] for any update pattern (Eq. 2 bounds)."""
+    policy = AdaptiveSyncDefer(initial_defer=min(1.0, t_max), epsilon=epsilon,
+                               t_max=t_max)
+    state = policy.new_state()
+    now = 0.0
+    for gap in gaps:
+        now += gap
+        policy.on_update(state, now, 100)
+        assert 0.0 < state.current_defer <= t_max + 1e-9
+
+
+@given(st.floats(min_value=0.1, max_value=20.0))
+@settings(max_examples=30, deadline=None)
+def test_asd_fixed_point_property(gap):
+    """For steady gaps, T converges above Δt (batching) but below Δt+1 s."""
+    epsilon = 0.3
+    policy = AdaptiveSyncDefer(initial_defer=1.0, epsilon=epsilon, t_max=1000.0)
+    state = policy.new_state()
+    for step in range(200):
+        policy.on_update(state, step * gap, 1)
+    assert gap < state.current_defer <= gap + 2 * epsilon + 1e-6
+
+
+def test_scan_interval_spaces_syncs():
+    policy = ScanIntervalDefer(7.0)
+    state = policy.new_state()
+    policy.on_update(state, 0.0, 1)
+    assert policy.eligible_at(state) == 0.0  # first sync immediate
+    policy.on_sync(state, 0.5)
+    policy.on_update(state, 1.0, 1)
+    assert policy.eligible_at(state) == pytest.approx(7.5)
+
+
+def test_scan_interval_idle_file_syncs_immediately():
+    policy = ScanIntervalDefer(7.0)
+    state = policy.new_state()
+    policy.on_sync(state, 0.0)
+    policy.on_update(state, 100.0, 1)
+    assert policy.eligible_at(state) == 100.0
+
+
+def test_byte_counter_flushes_at_threshold():
+    policy = ByteCounterDefer(threshold_bytes=4096, flush_timeout=10.0)
+    state = policy.new_state()
+    policy.on_update(state, 0.0, 1000)
+    assert policy.eligible_at(state) == pytest.approx(10.0)  # below threshold
+    policy.on_update(state, 1.0, 4000)
+    assert policy.eligible_at(state) == 1.0  # threshold reached: immediate
+
+
+def test_on_sync_resets_pending_but_keeps_adaptation():
+    policy = AdaptiveSyncDefer()
+    state = policy.new_state()
+    policy.on_update(state, 0.0, 100)
+    policy.on_update(state, 2.0, 100)
+    defer_before = state.current_defer
+    policy.on_sync(state, 2.5)
+    assert state.pending_bytes == 0
+    assert state.update_count == 0
+    assert math.isinf(state.first_pending)
+    assert state.current_defer == defer_before
+    assert state.last_sync == 2.5
+
+
+def test_describe_strings():
+    assert NoDefer().describe() == "none"
+    assert "4.2" in FixedDefer(4.2).describe()
+    assert "asd" in AdaptiveSyncDefer().describe()
+    assert "scan" in ScanIntervalDefer(7).describe()
+    assert "byte-counter" in ByteCounterDefer().describe()

@@ -1,0 +1,202 @@
+"""Unit and property tests for the rsync delta engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.content import random_content, text_content
+from repro.delta import (
+    CopyOp,
+    LiteralOp,
+    RollingChecksum,
+    apply_delta,
+    compute_delta,
+    compute_signature,
+    diff_stats,
+    weak_checksum,
+)
+
+
+# ---------------------------------------------------------------------------
+# rolling checksum
+# ---------------------------------------------------------------------------
+
+def test_rolling_matches_recompute():
+    data = random_content(5000, seed=1).data
+    window = 128
+    roller = RollingChecksum(data[:window])
+    for position in range(1, 200):
+        roller.roll(data[position - 1], data[position + window - 1])
+        assert roller.digest == weak_checksum(data[position:position + window])
+
+
+@given(st.binary(min_size=2, max_size=300), st.integers(min_value=1, max_value=50))
+@settings(max_examples=60, deadline=None)
+def test_rolling_property(data, window):
+    window = min(window, len(data) - 1)
+    if window < 1:
+        return
+    roller = RollingChecksum(data[:window])
+    for position in range(1, len(data) - window + 1):
+        roller.roll(data[position - 1], data[position + window - 1])
+        assert roller.digest == weak_checksum(data[position:position + window])
+
+
+def test_roll_out_shrinks_window():
+    data = b"hello world"
+    roller = RollingChecksum(data)
+    roller.roll_out(data[0])
+    assert roller.digest == weak_checksum(data[1:])
+    assert roller.window_len == len(data) - 1
+
+
+def test_weak_checksum_vectorised_matches_scalar():
+    # Cross the numpy threshold (64 bytes) both ways.
+    for size in (1, 63, 64, 65, 1000):
+        data = random_content(size, seed=size).data
+        a = sum(data) & 0xFFFF
+        b = sum((len(data) - i) * byte for i, byte in enumerate(data)) & 0xFFFF
+        assert weak_checksum(data) == ((b << 16) | a)
+
+
+# ---------------------------------------------------------------------------
+# signatures
+# ---------------------------------------------------------------------------
+
+def test_signature_block_count():
+    data = random_content(2500, seed=2).data
+    signature = compute_signature(data, block_size=1000)
+    assert [b.length for b in signature.blocks] == [1000, 1000, 500]
+    assert signature.file_length == 2500
+
+
+def test_signature_wire_size_scales_with_blocks():
+    data = random_content(10_000, seed=3).data
+    fine = compute_signature(data, block_size=100)
+    coarse = compute_signature(data, block_size=5000)
+    assert fine.wire_size > coarse.wire_size
+
+
+def test_signature_invalid_block_size():
+    with pytest.raises(ValueError):
+        compute_signature(b"abc", block_size=0)
+
+
+# ---------------------------------------------------------------------------
+# delta round trips
+# ---------------------------------------------------------------------------
+
+def roundtrip(old: bytes, new: bytes, block_size: int = 512) -> None:
+    signature = compute_signature(old, block_size)
+    delta = compute_delta(signature, new)
+    assert apply_delta(old, delta) == new
+    return delta
+
+
+def test_identical_files_ship_no_literals():
+    data = random_content(8192, seed=4).data
+    delta = roundtrip(data, data)
+    assert delta.literal_bytes == 0
+
+
+def test_one_byte_edit_ships_one_block():
+    old = random_content(50_000, seed=5)
+    new = old.modify_byte(25_000)
+    delta = roundtrip(old.data, new.data, block_size=1000)
+    assert delta.literal_bytes == 1000
+    assert delta.wire_size < 1200
+
+
+def test_append_ships_only_tail():
+    old = random_content(10_000, seed=6)
+    new = old.append(random_content(300, seed=7))
+    delta = roundtrip(old.data, new.data, block_size=1000)
+    # Tail = appended 300 bytes + displaced final short block (10_000 % 1000 == 0
+    # means the old final block is full-size, so only the new tail is literal).
+    assert delta.literal_bytes == 300
+
+
+def test_prepend_resyncs_on_block_boundaries():
+    old = random_content(10_000, seed=8)
+    new_head = random_content(100, seed=9)
+    new = new_head.append(old)
+    delta = roundtrip(old.data, new.data, block_size=1000)
+    # Blocks are head-aligned, so a 100-byte prepend misaligns everything...
+    # but rsync's rolling match re-finds every old block at offset +100.
+    assert delta.literal_bytes == pytest.approx(100, abs=1000)
+
+
+def test_total_rewrite_ships_everything():
+    old = random_content(5000, seed=10).data
+    new = random_content(5000, seed=11).data
+    delta = roundtrip(old, new, block_size=500)
+    assert delta.literal_bytes == 5000
+
+
+def test_empty_old_file():
+    new = random_content(1234, seed=12).data
+    delta = roundtrip(b"", new)
+    assert delta.literal_bytes == 1234
+
+
+def test_empty_new_file():
+    old = random_content(1234, seed=13).data
+    delta = roundtrip(old, b"")
+    assert delta.literal_bytes == 0
+    assert delta.ops == []
+
+
+def test_apply_delta_wrong_basis_rejected():
+    old = random_content(1000, seed=14).data
+    delta = compute_delta(compute_signature(old, 100), old)
+    with pytest.raises(ValueError):
+        apply_delta(old[:500], delta)
+
+
+def test_apply_delta_missing_block_rejected():
+    from repro.delta import Delta
+    bad = Delta(block_size=100, basis_length=100, ops=[CopyOp(block_index=5)])
+    with pytest.raises(ValueError):
+        apply_delta(b"x" * 100, bad)
+
+
+def test_adjacent_copies_coalesce():
+    data = random_content(10_000, seed=15).data
+    signature = compute_signature(data, 1000)
+    delta = compute_delta(signature, data)
+    assert len(delta.ops) == 1
+    assert isinstance(delta.ops[0], CopyOp)
+    assert delta.ops[0].count == 10
+
+
+def test_wire_size_accounting():
+    old = random_content(4000, seed=16)
+    new = old.modify_byte(100)
+    stats = diff_stats(old.data, new.data, block_size=500)
+    assert stats.delta_wire_bytes >= stats.literal_bytes
+    assert stats.delta_wire_bytes < stats.new_size
+    assert stats.signature_wire_bytes > 0
+
+
+@given(st.binary(max_size=4000), st.binary(max_size=4000),
+       st.sampled_from([64, 128, 700, 1024]))
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(old, new, block_size):
+    """apply(old, delta(sig(old), new)) == new for arbitrary inputs."""
+    signature = compute_signature(old, block_size)
+    delta = compute_delta(signature, new)
+    assert apply_delta(old, delta) == new
+
+
+@given(st.binary(min_size=1, max_size=2000),
+       st.integers(min_value=0, max_value=1999),
+       st.sampled_from([128, 512]))
+@settings(max_examples=40, deadline=None)
+def test_single_edit_literal_bounded_property(old, offset, block_size):
+    """A one-byte edit never ships more than two blocks of literals."""
+    offset = offset % len(old)
+    new = bytearray(old)
+    new[offset] = (new[offset] + 1) % 256
+    signature = compute_signature(old, block_size)
+    delta = compute_delta(signature, bytes(new))
+    assert apply_delta(old, delta) == bytes(new)
+    assert delta.literal_bytes <= 2 * block_size

@@ -1,0 +1,247 @@
+"""Integration-level tests of the sync client engine's behaviours."""
+
+import pytest
+
+from repro.client import (
+    AccessMethod,
+    M1,
+    M2,
+    SyncSession,
+    service_profile,
+)
+from repro.cloud import CloudServer
+from repro.content import random_content
+from repro.simnet import LinkSpec, Simulator, mn_link
+from repro.units import KB, MB
+
+
+def session_for(service="GoogleDrive", access=AccessMethod.PC, **kwargs):
+    return SyncSession(service, access, **kwargs)
+
+
+def test_creation_reaches_cloud():
+    session = session_for()
+    content = random_content(10 * KB, seed=1)
+    session.create_file("a.bin", content)
+    session.run_until_idle()
+    assert session.server.download("user1", "a.bin") == content.data
+    assert session.client.stats.files_synced == 1
+
+
+def test_modification_updates_cloud():
+    session = session_for()
+    session.create_file("a.bin", random_content(10 * KB, seed=1))
+    session.run_until_idle()
+    session.modify_random_byte("a.bin", seed=2)
+    session.run_until_idle()
+    assert session.server.download("user1", "a.bin") == \
+        session.folder.get("a.bin").data
+
+
+def test_ids_client_uses_delta_for_modification():
+    session = session_for("Dropbox")
+    session.create_file("a.bin", random_content(1 * MB, seed=1))
+    session.run_until_idle()
+    assert session.client.stats.full_file_syncs == 1
+    session.modify_random_byte("a.bin", seed=2)
+    session.run_until_idle()
+    assert session.client.stats.delta_syncs == 1
+    assert session.server.download("user1", "a.bin") == \
+        session.folder.get("a.bin").data
+
+
+def test_delta_traffic_much_smaller_than_full_file():
+    """The Figure 4 contrast: IDS vs full-file for a 1-byte edit."""
+    ids = session_for("Dropbox")
+    ids.create_file("a.bin", random_content(1 * MB, seed=1))
+    ids.run_until_idle()
+    ids.reset_meter()
+    ids.modify_random_byte("a.bin", seed=2)
+    ids.run_until_idle()
+
+    full = session_for("GoogleDrive")
+    full.create_file("a.bin", random_content(1 * MB, seed=1))
+    full.run_until_idle()
+    full.reset_meter()
+    full.modify_random_byte("a.bin", seed=2)
+    full.run_until_idle()
+
+    assert ids.total_traffic < full.total_traffic / 5
+
+
+def test_full_file_client_resends_whole_file():
+    session = session_for("Box")
+    session.create_file("a.bin", random_content(1 * MB, seed=1))
+    session.run_until_idle()
+    session.reset_meter()
+    session.modify_random_byte("a.bin", seed=2)
+    session.run_until_idle()
+    assert session.total_traffic > 1 * MB
+
+
+def test_deletion_traffic_negligible():
+    """Experiment 2: deletion costs < 100 KB regardless of size."""
+    session = session_for("OneDrive")
+    session.create_file("big.bin", random_content(2 * MB, seed=1))
+    session.run_until_idle()
+    session.reset_meter()
+    session.delete_file("big.bin")
+    session.run_until_idle()
+    assert session.total_traffic < 100 * KB
+    # Fake deletion: the cloud can still roll back to version 1.
+    restored = session.server.restore_version("user1", "big.bin", 1)
+    assert restored.size == 2 * MB
+
+
+def test_create_then_delete_before_sync_sends_nothing_heavy():
+    session = session_for("GoogleDrive")  # 4.2 s defer holds the create back
+    session.create_file("temp.bin", random_content(1 * MB, seed=1))
+    session.delete_file("temp.bin")
+    session.run_until_idle()
+    assert session.total_traffic < 10 * KB
+
+
+def test_natural_batching_during_upload():
+    """Condition 1: updates arriving mid-upload coalesce into one sync."""
+    spec = LinkSpec(up_bw=200_000, down_bw=200_000, rtt=0.2)  # slow link
+    session = session_for("Box", link_spec=spec)
+    session.create_file("f.bin", random_content(0))
+    session.run_until_idle()
+    session.reset_meter()
+    for index in range(10):
+        session.append("f.bin", random_content(50 * KB, seed=10 + index))
+        session.advance(0.05)
+    session.run_until_idle()
+    stats = session.client.stats
+    assert stats.sync_transactions < 10
+    assert max(stats.ops_per_sync) > 1
+
+
+def test_slow_hardware_batches_more():
+    """Condition 2: metadata computation time forces batching (Fig. 8c)."""
+    def run(machine):
+        session = session_for("Dropbox", machine=machine)
+        session.create_file("f.bin", random_content(0))
+        session.run_until_idle()
+        session.reset_meter()
+        for index in range(30):
+            session.append("f.bin", random_content(1 * KB, seed=index))
+            session.advance(1.0)
+        session.run_until_idle()
+        return session
+
+    fast = run(M1)
+    slow = run(M2)
+    assert slow.client.stats.sync_transactions < fast.client.stats.sync_transactions
+    assert slow.total_traffic < fast.total_traffic
+
+
+def test_bds_full_batches_into_one_transaction():
+    session = session_for("Dropbox")
+    for index in range(20):
+        session.create_file(f"b/{index}.bin", random_content(1 * KB, seed=index))
+    session.run_until_idle()
+    assert session.client.stats.sync_transactions == 1
+    assert session.client.stats.files_synced == 20
+
+
+def test_non_bds_service_syncs_files_individually():
+    session = session_for("GoogleDrive")
+    for index in range(5):
+        session.create_file(f"b/{index}.bin", random_content(1 * KB, seed=index))
+    session.run_until_idle()
+    # One transaction (they're batched in time by the defer) but each file
+    # pays its own full overhead: traffic is ~5x the single-file cost.
+    single = session_for("GoogleDrive")
+    single.create_file("one.bin", random_content(1 * KB, seed=0))
+    single.run_until_idle()
+    assert session.total_traffic > 4 * single.total_traffic
+
+
+def test_dedup_skips_reupload_same_user():
+    session = session_for("UbuntuOne")
+    content = random_content(512 * KB, seed=1)
+    session.create_file("a.bin", content)
+    session.run_until_idle()
+    first = session.total_traffic
+    session.reset_meter()
+    session.create_file("copy.bin", content)
+    session.run_until_idle()
+    assert session.total_traffic < first / 10
+    assert session.client.stats.dedup_skipped_units == 1
+
+
+def test_no_dedup_service_reuploads():
+    session = session_for("Box")
+    content = random_content(512 * KB, seed=1)
+    session.create_file("a.bin", content)
+    session.run_until_idle()
+    session.reset_meter()
+    session.create_file("copy.bin", content)
+    session.run_until_idle()
+    assert session.total_traffic > 512 * KB
+
+
+def test_cross_user_dedup_only_when_scoped():
+    def pair(service):
+        profile = service_profile(service, AccessMethod.PC)
+        sim = Simulator()
+        server = CloudServer(dedup=profile.dedup,
+                             storage_chunk_size=profile.storage_chunk_size)
+        alice = SyncSession(profile, sim=sim, server=server, user="alice")
+        bob = SyncSession(profile, sim=sim, server=server, user="bob")
+        return alice, bob
+
+    content = random_content(512 * KB, seed=2)
+
+    alice, bob = pair("UbuntuOne")  # cross-user full-file dedup
+    alice.create_file("f.bin", content)
+    alice.run_until_idle()
+    bob.create_file("f.bin", content)
+    bob.run_until_idle()
+    assert bob.total_traffic < 50 * KB
+
+    alice, bob = pair("Dropbox")  # same-user only
+    alice.create_file("f.bin", content)
+    alice.run_until_idle()
+    bob.create_file("f.bin", content)
+    bob.run_until_idle()
+    assert bob.total_traffic > 512 * KB
+
+
+def test_download_restores_content_and_meters_down():
+    session = session_for("Dropbox")
+    content = random_content(256 * KB, seed=3)
+    session.create_file("a.bin", content)
+    session.run_until_idle()
+    session.reset_meter()
+    fetched = session.download("a.bin")
+    assert fetched.data == content.data
+    assert session.meter.down.payload > 0
+    assert session.meter.up.payload == 0
+
+
+def test_shadow_tracks_synced_state():
+    session = session_for("Dropbox")
+    session.create_file("a.bin", random_content(64 * KB, seed=1))
+    session.run_until_idle()
+    session.append("a.bin", random_content(1 * KB, seed=2))
+    session.run_until_idle()
+    session.append("a.bin", random_content(1 * KB, seed=3))
+    session.run_until_idle()
+    assert session.client.stats.delta_syncs == 2
+    assert session.server.download("user1", "a.bin") == \
+        session.folder.get("a.bin").data
+
+
+def test_update_tracking_matches_folder_events():
+    session = session_for()
+    session.create_file("a.bin", random_content(100, seed=1))
+    session.append("a.bin", random_content(50, seed=2))
+    assert session.data_update_bytes == 150
+
+
+def test_tue_requires_positive_denominator():
+    session = session_for()
+    with pytest.raises(ValueError):
+        session.tue()

@@ -1,0 +1,33 @@
+"""Smoke/unit tests for the Table 5 findings verifier."""
+
+import pytest
+
+from repro.core import Finding, verify_findings
+
+
+@pytest.fixture(scope="module")
+def findings():
+    # Small trace scale keeps this under test-suite time; the bench runs
+    # the calibrated scale.
+    return verify_findings(trace_scale=0.15)
+
+
+def test_all_sections_covered(findings):
+    sections = {finding.section for finding in findings}
+    assert sections == {"4.1", "4.2", "4.3", "5.1", "5.2", "6.1", "6.2"}
+
+
+def test_every_finding_holds(findings):
+    failed = [finding for finding in findings if not finding.holds]
+    assert not failed, failed
+
+
+def test_evidence_strings_are_informative(findings):
+    for finding in findings:
+        assert finding.evidence
+        assert any(char.isdigit() for char in finding.evidence), finding
+
+
+def test_finding_count_matches_table5(findings):
+    # Seven findings, several with two executable claims.
+    assert len(findings) == 10

@@ -1,0 +1,69 @@
+"""Tests for the packet-loss / retransmission model."""
+
+import pytest
+
+from repro.client import AccessMethod, SyncSession
+from repro.content import random_content
+from repro.core import run_appending
+from repro.simnet import Link, LinkSpec, mn_link
+from repro.units import KB, MB, Mbps
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        LinkSpec(up_bw=1 * Mbps, down_bw=1 * Mbps, rtt=0.05, loss_rate=1.0)
+    with pytest.raises(ValueError):
+        LinkSpec(up_bw=1 * Mbps, down_bw=1 * Mbps, rtt=0.05, loss_rate=-0.1)
+
+
+def test_no_loss_no_retransmit():
+    link = Link(mn_link())
+    assert link.retransmit_overhead(1_000_000) == 0
+    assert link.recovery_rtts(1_000_000) == 0.0
+
+
+def test_retransmit_scales_with_loss():
+    lossy = Link(mn_link().with_loss(0.02))
+    lossier = Link(mn_link().with_loss(0.10))
+    wire = 1_000_000
+    assert 0 < lossy.retransmit_overhead(wire) < lossier.retransmit_overhead(wire)
+    # Expected value: loss/(1-loss) of the bytes.
+    assert lossy.retransmit_overhead(wire) == pytest.approx(
+        wire * 0.02 / 0.98, rel=0.01)
+
+
+def test_recovery_rtts_capped():
+    link = Link(mn_link().with_loss(0.2))
+    assert link.recovery_rtts(100 * MB) == 8.0
+
+
+def test_lossy_link_inflates_sync_traffic():
+    clean = SyncSession("Box", AccessMethod.PC, link_spec=mn_link())
+    lossy = SyncSession("Box", AccessMethod.PC,
+                        link_spec=mn_link().with_loss(0.05))
+    for session in (clean, lossy):
+        session.create_file("f.bin", random_content(1 * MB, seed=1))
+        session.run_until_idle()
+    assert lossy.total_traffic > clean.total_traffic * 1.03
+    # Retransmissions are overhead, never payload.
+    assert lossy.meter.payload_bytes == clean.meter.payload_bytes
+
+
+def test_loss_lowers_tue_under_frequent_mods():
+    """Loss slows syncs → more natural batching → smaller TUE, the same
+    mechanism as the paper's poor-network finding (§6.2)."""
+    clean = run_appending("Dropbox", 1.0, total=128 * KB,
+                          link_spec=mn_link())
+    lossy = run_appending("Dropbox", 1.0, total=128 * KB,
+                          link_spec=LinkSpec(up_bw=2 * Mbps, down_bw=2 * Mbps,
+                                             rtt=0.06, loss_rate=0.08))
+    assert lossy.sync_transactions <= clean.sync_transactions
+    assert lossy.tue < clean.tue * 1.05
+
+
+def test_netem_set_loss():
+    from repro.simnet import NetworkEmulator, Simulator
+    link = Link(mn_link())
+    emulator = NetworkEmulator(Simulator(), link)
+    emulator.set_loss(0.03)
+    assert link.spec.loss_rate == 0.03

@@ -1,0 +1,77 @@
+"""Unit tests for the traffic meter (the simulated Wireshark)."""
+
+import pytest
+
+from repro.simnet import Direction, TrafficMeter
+
+
+def test_empty_meter_is_zero():
+    meter = TrafficMeter()
+    assert meter.total_bytes == 0
+    assert meter.payload_bytes == 0
+    assert meter.overhead_bytes == 0
+
+
+def test_record_accumulates_by_direction():
+    meter = TrafficMeter()
+    meter.record(0.0, Direction.UP, payload=100, overhead=20)
+    meter.record(1.0, Direction.DOWN, payload=50, overhead=5)
+    assert meter.up.payload == 100
+    assert meter.up.overhead == 20
+    assert meter.down.payload == 50
+    assert meter.down.overhead == 5
+    assert meter.total_bytes == 175
+
+
+def test_negative_bytes_rejected():
+    meter = TrafficMeter()
+    with pytest.raises(ValueError):
+        meter.record(0.0, Direction.UP, payload=-1)
+    with pytest.raises(ValueError):
+        meter.record(0.0, Direction.UP, payload=0, overhead=-1)
+
+
+def test_snapshot_diff_isolates_interval():
+    meter = TrafficMeter()
+    meter.record(0.0, Direction.UP, payload=10, overhead=1)
+    snap = meter.snapshot()
+    meter.record(1.0, Direction.UP, payload=7, overhead=2)
+    meter.record(1.0, Direction.DOWN, payload=3, overhead=4)
+    delta = meter.since(snap)
+    assert delta.up_payload == 7
+    assert delta.up_overhead == 2
+    assert delta.down_total == 7
+    assert delta.total == 16
+    assert delta.record_count == 2
+
+
+def test_records_since_returns_new_records_only():
+    meter = TrafficMeter()
+    meter.record(0.0, Direction.UP, 1, 0, kind="old")
+    snap = meter.snapshot()
+    meter.record(1.0, Direction.UP, 2, 0, kind="new")
+    kinds = [r.kind for r in meter.records_since(snap)]
+    assert kinds == ["new"]
+
+
+def test_bytes_by_kind_groups_totals():
+    meter = TrafficMeter()
+    meter.record(0.0, Direction.UP, 10, 2, kind="upload")
+    meter.record(0.0, Direction.DOWN, 0, 5, kind="upload")
+    meter.record(0.0, Direction.DOWN, 0, 7, kind="notify")
+    groups = meter.bytes_by_kind()
+    assert groups == {"upload": 17, "notify": 7}
+
+
+def test_reset_clears_everything():
+    meter = TrafficMeter()
+    meter.record(0.0, Direction.UP, 10, 2)
+    meter.reset()
+    assert meter.total_bytes == 0
+    assert meter.records == []
+
+
+def test_record_total_property():
+    meter = TrafficMeter()
+    record = meter.record(0.0, Direction.UP, payload=3, overhead=4)
+    assert record.total == 7

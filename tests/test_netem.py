@@ -1,0 +1,57 @@
+"""Unit tests for the network emulator (Netfilter-proxy equivalent)."""
+
+import pytest
+
+from repro.simnet import Link, NetworkEmulator, Simulator, mn_link
+from repro.units import Mbps
+
+
+def make_emulator():
+    sim = Simulator()
+    link = Link(mn_link())
+    return sim, link, NetworkEmulator(sim, link)
+
+
+def test_set_bandwidth_applies_and_clamps():
+    _, link, emulator = make_emulator()
+    emulator.set_bandwidth(up_bw=5 * Mbps)
+    assert link.spec.up_bw == 5 * Mbps
+    emulator.set_bandwidth(up_bw=100 * Mbps)  # above the rig's 20 Mbps max
+    assert link.spec.up_bw == 20 * Mbps
+
+
+def test_set_bandwidth_partial():
+    _, link, emulator = make_emulator()
+    original_down = link.spec.down_bw
+    emulator.set_bandwidth(up_bw=2 * Mbps)
+    assert link.spec.down_bw == original_down
+
+
+def test_set_latency():
+    _, link, emulator = make_emulator()
+    emulator.set_latency(0.4)
+    assert link.spec.rtt == 0.4
+
+
+def test_validation():
+    _, _, emulator = make_emulator()
+    with pytest.raises(ValueError):
+        emulator.set_bandwidth(up_bw=0)
+    with pytest.raises(ValueError):
+        emulator.set_latency(-1)
+
+
+def test_scheduled_changes_fire_at_sim_time():
+    sim, link, emulator = make_emulator()
+    emulator.schedule_latency(10.0, 0.8)
+    sim.run_until(5.0)
+    assert link.spec.rtt != 0.8
+    sim.run_until(10.0)
+    assert link.spec.rtt == 0.8
+
+
+def test_history_records_every_change():
+    sim, _, emulator = make_emulator()
+    emulator.set_latency(0.2)
+    emulator.set_bandwidth(up_bw=2 * Mbps)
+    assert len(emulator.history) == 3  # initial + two changes

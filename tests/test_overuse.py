@@ -1,0 +1,52 @@
+"""Tests for the per-user traffic-overuse statistic (§6 motivation, [36])."""
+
+import pytest
+
+from repro.client import AccessMethod, service_profile
+from repro.trace import (
+    generate_trace,
+    modification_share,
+    replay_trace,
+    traffic_overuse_fraction,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(scale=0.03, seed=5)
+
+
+def report_for(trace, service):
+    return replay_trace(trace, service_profile(service, AccessMethod.PC))
+
+
+def test_shares_are_valid_fractions(trace):
+    report = report_for(trace, "Dropbox")
+    shares = modification_share(report)
+    assert shares  # every user appears
+    for share in shares.values():
+        assert 0.0 <= share <= 1.0
+
+
+def test_ids_limits_overuse_relative_to_full_file(trace):
+    """The §6 argument: full-file sync turns every modification into a
+    whole-file re-upload, so far more users cross the 10 % waste line."""
+    dropbox = traffic_overuse_fraction(report_for(trace, "Dropbox"))
+    google = traffic_overuse_fraction(report_for(trace, "GoogleDrive"))
+    box = traffic_overuse_fraction(report_for(trace, "Box"))
+    assert dropbox < google
+    assert dropbox < box
+    assert 0.0 < dropbox < 1.0
+    assert google > 0.9  # full-file sync wastes traffic for almost everyone
+
+
+def test_threshold_monotonicity(trace):
+    report = report_for(trace, "SugarSync")
+    loose = traffic_overuse_fraction(report, threshold=0.01)
+    strict = traffic_overuse_fraction(report, threshold=0.5)
+    assert loose >= strict
+
+
+def test_empty_report():
+    from repro.trace import ReplayReport
+    assert traffic_overuse_fraction(ReplayReport("X", "pc")) == 0.0

@@ -1,0 +1,128 @@
+"""Unit tests for the service design-choice profiles (Tables 6–9 encodings)."""
+
+import pytest
+
+from repro.client import (
+    AccessMethod,
+    AdaptiveSyncDefer,
+    FixedDefer,
+    SERVICES,
+    all_profiles,
+    machine,
+    service_profile,
+)
+from repro.client.defer import NoDefer, ScanIntervalDefer
+from repro.cloud import DedupGranularity, DedupScope
+from repro.compress import CompressionLevel
+from repro.units import MB
+
+
+def test_all_18_combinations_exist():
+    assert len(all_profiles()) == 18
+    for service in SERVICES:
+        for access in AccessMethod:
+            assert service_profile(service, access) is not None
+
+
+def test_lookup_is_case_insensitive_and_accepts_strings():
+    assert service_profile("dropbox", "pc").service == "Dropbox"
+    with pytest.raises(KeyError):
+        service_profile("iCloudDrive", AccessMethod.PC)
+
+
+def test_only_dropbox_and_sugarsync_pc_use_ids():
+    """Figure 4's finding."""
+    for profile in all_profiles():
+        expected = (profile.access is AccessMethod.PC
+                    and profile.service in ("Dropbox", "SugarSync"))
+        assert profile.uses_ids == expected, profile.name
+
+
+def test_dedup_matches_table9():
+    dropbox = service_profile("Dropbox", AccessMethod.PC)
+    assert dropbox.dedup.granularity is DedupGranularity.BLOCK
+    assert dropbox.dedup.block_size == 4 * MB
+    assert dropbox.dedup.scope is DedupScope.SAME_USER
+    ubuntu = service_profile("UbuntuOne", AccessMethod.PC)
+    assert ubuntu.dedup.granularity is DedupGranularity.FULL_FILE
+    assert ubuntu.dedup.scope is DedupScope.CROSS_USER
+    for name in ("GoogleDrive", "OneDrive", "Box", "SugarSync"):
+        assert not service_profile(name, AccessMethod.PC).dedup.enabled
+
+
+def test_web_never_dedups():
+    """§5.2: web-based sync does not apply deduplication."""
+    for profile in all_profiles(AccessMethod.WEB):
+        assert not profile.dedup.enabled, profile.name
+
+
+def test_web_never_compresses_uploads():
+    """§5.1: no service compresses uploads from the browser."""
+    for profile in all_profiles(AccessMethod.WEB):
+        assert profile.upload_compression.level is CompressionLevel.NONE
+
+
+def test_compression_matrix_matches_table8():
+    db_pc = service_profile("Dropbox", AccessMethod.PC)
+    assert db_pc.upload_compression.level is CompressionLevel.MODERATE
+    assert db_pc.download_compression.level is CompressionLevel.HIGH
+    db_mobile = service_profile("Dropbox", AccessMethod.MOBILE)
+    assert db_mobile.upload_compression.level is CompressionLevel.LOW
+    assert db_mobile.download_compression.level is CompressionLevel.HIGH
+    u1_mobile = service_profile("UbuntuOne", AccessMethod.MOBILE)
+    assert u1_mobile.download_compression.level is CompressionLevel.NONE
+    for name in ("GoogleDrive", "OneDrive", "Box", "SugarSync"):
+        for access in AccessMethod:
+            profile = service_profile(name, access)
+            assert profile.upload_compression.level is CompressionLevel.NONE
+            assert profile.download_compression.level is CompressionLevel.NONE
+
+
+def test_fixed_defer_services_and_values():
+    """Figure 6's measured deferments."""
+    assert isinstance(service_profile("GoogleDrive", AccessMethod.PC).make_defer(),
+                      FixedDefer)
+    assert service_profile("GoogleDrive", AccessMethod.PC).make_defer().deferment \
+        == pytest.approx(4.2)
+    assert service_profile("OneDrive", AccessMethod.PC).make_defer().deferment \
+        == pytest.approx(10.5)
+    assert service_profile("SugarSync", AccessMethod.PC).make_defer().deferment \
+        == pytest.approx(6.0)
+    assert isinstance(service_profile("Box", AccessMethod.PC).make_defer(),
+                      ScanIntervalDefer)
+    for access in (AccessMethod.WEB, AccessMethod.MOBILE):
+        assert isinstance(service_profile("GoogleDrive", access).make_defer(),
+                          NoDefer)
+
+
+def test_defer_factory_yields_fresh_instances():
+    profile = service_profile("GoogleDrive", AccessMethod.PC)
+    assert profile.make_defer() is not profile.make_defer()
+
+
+def test_with_defer_swaps_policy_without_mutating():
+    base = service_profile("GoogleDrive", AccessMethod.PC)
+    modified = base.with_defer(lambda: AdaptiveSyncDefer())
+    assert isinstance(modified.make_defer(), AdaptiveSyncDefer)
+    assert isinstance(base.make_defer(), FixedDefer)
+
+
+def test_machine_lookup():
+    assert machine("m2").name == "M2"
+    with pytest.raises(KeyError):
+        machine("M9")
+
+
+def test_machine_compute_time_monotone_in_size():
+    m2 = machine("M2")
+    assert m2.metadata_compute_time(10 * MB) > m2.metadata_compute_time(1 * MB)
+    with pytest.raises(ValueError):
+        m2.metadata_compute_time(-1)
+
+
+def test_machine_ordering_matches_table4():
+    """M3 (SSD i7) faster than M1 (stock i5) faster than M2 (Atom)."""
+    m1, m2, m3 = machine("M1"), machine("M2"), machine("M3")
+    size = 10 * MB
+    assert m3.metadata_compute_time(size) < m1.metadata_compute_time(size) \
+        < m2.metadata_compute_time(size)

@@ -1,0 +1,63 @@
+"""System-wide invariants that must hold across any busy session."""
+
+import pytest
+
+from repro.client import AccessMethod, SyncSession
+from repro.content import random_content
+from repro.units import KB
+
+
+@pytest.fixture(scope="module")
+def busy_session():
+    session = SyncSession("Dropbox", AccessMethod.PC)
+    for index in range(8):
+        session.create_file(f"f{index}.bin",
+                            random_content(16 * KB, seed=index))
+    session.run_until_idle()
+    for index in range(0, 8, 2):
+        session.modify_random_byte(f"f{index}.bin", seed=100 + index)
+        session.advance(3.0)
+    session.delete_file("f1.bin")
+    session.run_until_idle()
+    return session
+
+
+def test_meter_times_non_decreasing(busy_session):
+    times = [record.time for record in busy_session.meter.records]
+    assert times == sorted(times)
+
+
+def test_sync_transactions_never_overlap(busy_session):
+    """Condition 1: a new sync starts only after the previous one ends."""
+    history = busy_session.client.history
+    assert len(history) >= 2
+    for previous, current in zip(history, history[1:]):
+        assert current.start >= previous.end - 1e-9
+
+
+def test_sync_durations_positive(busy_session):
+    for record in busy_session.client.history:
+        assert record.end > record.start
+
+
+def test_history_totals_cover_all_traffic(busy_session):
+    total_from_history = sum(r.total_bytes for r in busy_session.client.history)
+    assert total_from_history == busy_session.total_traffic
+
+
+def test_clock_never_runs_backwards(busy_session):
+    assert busy_session.sim.now >= 0
+    assert busy_session.sim.pending_count() == 0
+
+
+def test_batch_stats_consistent(busy_session):
+    stats = busy_session.client.stats
+    assert len(stats.batch_sizes) == stats.sync_transactions
+    assert sum(stats.ops_per_sync) <= stats.events_seen
+    assert stats.files_synced >= len(busy_session.folder.paths())
+
+
+def test_overhead_fraction_bounded(busy_session):
+    meter = busy_session.meter
+    assert 0 < meter.overhead_bytes < meter.total_bytes
+    assert meter.payload_bytes > 0

@@ -1,0 +1,205 @@
+"""Tests for the trace substrate: schema, generator calibration, I/O."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    FileRecord,
+    SERVICE_FILES,
+    SERVICE_USERS,
+    Trace,
+    UNIT_SIZE,
+    batchable_small_fraction,
+    compressible_fraction,
+    compression_ratio,
+    compression_traffic_saving,
+    dedup_ratio,
+    dedup_ratio_curve,
+    duplicate_file_ratio,
+    generate_trace,
+    load_trace,
+    modified_fraction,
+    save_trace,
+    size_cdf,
+    small_file_fraction,
+    summary_stats,
+)
+from repro.units import GB, KB, MB
+
+SCALE = 0.06
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(scale=SCALE, seed=11)
+
+
+# ---------------------------------------------------------------------------
+# schema
+# ---------------------------------------------------------------------------
+
+def make_record(size=300 * KB, segments=None, **kwargs):
+    segments = segments if segments is not None else np.arange(3, dtype=np.int64)
+    defaults = dict(user="u", service="s", path="p", size=size,
+                    compressed_size=size // 2, created_at=0.0, modified_at=1.0,
+                    modify_count=1, segments=segments, content_id=1)
+    defaults.update(kwargs)
+    return FileRecord(**defaults)
+
+
+def test_record_validation():
+    with pytest.raises(ValueError):
+        make_record(size=-1)
+    with pytest.raises(ValueError):
+        make_record(modified_at=-5.0)
+
+
+def test_compression_properties():
+    record = make_record(size=100, compressed_size=50)
+    assert record.compression_ratio == 0.5
+    assert record.effectively_compressible
+    assert not make_record(size=100, compressed_size=95).effectively_compressible
+
+
+def test_block_keys_lengths_sum_to_size():
+    record = make_record(size=300 * KB)
+    keys = list(record.block_keys(128 * KB))
+    assert sum(length for _, length in keys) == 300 * KB
+    assert len(keys) == 3
+
+
+def test_block_keys_require_unit_multiple():
+    record = make_record()
+    with pytest.raises(ValueError):
+        list(record.block_keys(100))
+
+
+def test_block_md5s_differ_per_block():
+    record = make_record(size=3 * UNIT_SIZE)
+    hashes = record.block_md5s(UNIT_SIZE)
+    assert len(set(hashes)) == 3
+
+
+def test_duplicates_share_md5():
+    shared = np.arange(5, dtype=np.int64)
+    a = make_record(size=5 * UNIT_SIZE, segments=shared)
+    b = make_record(size=5 * UNIT_SIZE, segments=shared, user="other")
+    assert a.md5 == b.md5
+    assert a.full_file_key() == b.full_file_key()
+
+
+def test_prefix_sharing_visible_at_block_level():
+    base = np.arange(8, dtype=np.int64)
+    near = np.concatenate([base[:4], np.arange(100, 104, dtype=np.int64)])
+    a = make_record(size=8 * UNIT_SIZE, segments=base)
+    b = make_record(size=8 * UNIT_SIZE, segments=near)
+    a_keys = list(a.block_keys(2 * UNIT_SIZE))
+    b_keys = list(b.block_keys(2 * UNIT_SIZE))
+    assert a_keys[0] == b_keys[0] and a_keys[1] == b_keys[1]
+    assert a_keys[2] != b_keys[2]
+    assert a.md5 != b.md5
+
+
+# ---------------------------------------------------------------------------
+# generator calibration (the paper's published statistics)
+# ---------------------------------------------------------------------------
+
+def test_counts_scale_with_table2(trace):
+    by_service = trace.by_service()
+    assert set(by_service) == set(SERVICE_FILES)
+    for service, records in by_service.items():
+        expected = SERVICE_FILES[service] * SCALE
+        assert len(records) == pytest.approx(expected, rel=0.15)
+    users = trace.users()
+    for service, count in users.items():
+        assert count <= SERVICE_USERS[service]
+
+
+def test_size_distribution_matches_figure2(trace):
+    stats = summary_stats(trace)
+    assert stats.median_size == pytest.approx(7.5 * KB, rel=0.5)
+    assert stats.mean_size == pytest.approx(962 * KB, rel=0.35)
+    assert stats.max_size <= 2 * GB
+    assert stats.mean_compressed < stats.mean_size
+    assert stats.median_compressed < stats.median_size
+
+
+def test_small_file_fraction_77pct(trace):
+    assert small_file_fraction(trace) == pytest.approx(0.77, abs=0.05)
+    assert small_file_fraction(trace, compressed=True) == pytest.approx(0.81, abs=0.05)
+
+
+def test_modified_fraction_84pct(trace):
+    assert modified_fraction(trace) == pytest.approx(0.84, abs=0.03)
+
+
+def test_compressible_fraction_52pct(trace):
+    assert compressible_fraction(trace) == pytest.approx(0.52, abs=0.05)
+
+
+def test_compression_ratio_131(trace):
+    assert compression_ratio(trace) == pytest.approx(1.31, abs=0.12)
+    saving = compression_traffic_saving(trace)
+    assert saving == pytest.approx(0.24, abs=0.06)
+
+
+def test_duplicate_ratio_188pct(trace):
+    assert duplicate_file_ratio(trace) == pytest.approx(0.188, abs=0.06)
+
+
+def test_batchable_small_fraction_66pct(trace):
+    assert batchable_small_fraction(trace) == pytest.approx(0.66, abs=0.08)
+
+
+def test_dedup_curve_shape_matches_figure5(trace):
+    curve = dedup_ratio_curve(trace)
+    ratios = [ratio for _, ratio in curve]
+    full_file = ratios[-1]
+    blocks = ratios[:-1]
+    # Block-level beats full-file, but only trivially (the paper's point).
+    assert all(ratio >= full_file for ratio in blocks)
+    assert max(blocks) - full_file < 0.15
+    # Finer blocks dedup (weakly) better.
+    assert blocks == sorted(blocks, reverse=True)
+    assert full_file == pytest.approx(1.23, abs=0.08)
+
+
+def test_generation_is_deterministic():
+    a = generate_trace(scale=0.01, seed=3)
+    b = generate_trace(scale=0.01, seed=3)
+    assert len(a) == len(b)
+    assert [r.md5 for r in a.records[:50]] == [r.md5 for r in b.records[:50]]
+
+
+def test_cdf_is_monotone(trace):
+    curve = size_cdf(trace)
+    values = [p for _, p in curve]
+    assert values == sorted(values)
+    assert values[-1] == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# persistence
+# ---------------------------------------------------------------------------
+
+def test_csv_roundtrip_preserves_analyses(tmp_path):
+    trace = generate_trace(scale=0.01, seed=5)
+    path = tmp_path / "trace.csv"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert len(loaded) == len(trace)
+    assert duplicate_file_ratio(loaded) == pytest.approx(
+        duplicate_file_ratio(trace))
+    assert dedup_ratio(loaded, 512 * KB) == pytest.approx(
+        dedup_ratio(trace, 512 * KB))
+    assert compression_ratio(loaded) == pytest.approx(compression_ratio(trace))
+
+
+def test_zip_roundtrip(tmp_path):
+    trace = generate_trace(scale=0.005, seed=6)
+    path = tmp_path / "trace.zip"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert len(loaded) == len(trace)
+    assert summary_stats(loaded).mean_size == pytest.approx(
+        summary_stats(trace).mean_size)

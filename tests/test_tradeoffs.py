@@ -1,0 +1,78 @@
+"""Tests for the §7 tradeoff cost model."""
+
+import pytest
+
+from repro.client import AccessMethod, service_profile
+from repro.content import random_content, text_content
+from repro.core import compare_designs, measure_costs
+from repro.units import KB, MB
+
+
+def small_workload(session):
+    session.create_file("doc.txt", text_content(256 * KB, seed=1))
+    session.create_file("img.jpg", random_content(256 * KB, seed=2))
+    return 512 * KB
+
+
+def modification_workload(session):
+    session.create_file("f.bin", random_content(512 * KB, seed=1))
+    session.run_until_idle()
+    for index in range(5):
+        session.modify_random_byte("f.bin", seed=index)
+        session.run_until_idle()
+    return 512 * KB + 5
+
+
+def test_cost_report_fields_populate():
+    report = measure_costs(service_profile("Dropbox", AccessMethod.PC),
+                           small_workload)
+    assert report.traffic_bytes > 0
+    assert report.stored_bytes > 0
+    assert report.logical_bytes == 512 * KB
+    assert report.rest_operations > 0
+    assert report.client_cpu_seconds > 0
+    assert report.server_cpu_seconds > 0
+    assert report.tue == pytest.approx(report.traffic_bytes / (512 * KB))
+
+
+def test_ids_trades_cpu_and_rest_ops_for_traffic():
+    """The §7 double-edged sword: IDS saves traffic, costs server work."""
+    ids = measure_costs(service_profile("Dropbox", AccessMethod.PC),
+                        modification_workload)
+    full = measure_costs(service_profile("Box", AccessMethod.PC),
+                         modification_workload)
+    assert ids.traffic_bytes < full.traffic_bytes / 3
+    # The IDS mid-layer turns each MODIFY into GET + PUT + DELETE.
+    assert ids.rest_operations > full.rest_operations
+
+
+def test_compression_trades_client_cpu_for_traffic():
+    compressing = measure_costs(service_profile("UbuntuOne", AccessMethod.PC),
+                                small_workload)
+    plain = measure_costs(service_profile("Box", AccessMethod.PC),
+                          small_workload)
+    assert compressing.traffic_bytes < plain.traffic_bytes
+    assert compressing.client_cpu_seconds > plain.client_cpu_seconds
+
+
+def test_storage_efficiency_reflects_dedup():
+    def duplicate_workload(session):
+        content = random_content(256 * KB, seed=9)
+        session.create_file("a.bin", content)
+        session.create_file("b.bin", content)
+        return 512 * KB
+
+    deduping = measure_costs(service_profile("UbuntuOne", AccessMethod.PC),
+                             duplicate_workload)
+    plain = measure_costs(service_profile("Box", AccessMethod.PC),
+                          duplicate_workload)
+    assert deduping.storage_efficiency > 1.8
+    assert plain.storage_efficiency == pytest.approx(1.0, abs=0.05)
+
+
+def test_compare_designs_sorts_by_traffic():
+    profiles = [service_profile(name, AccessMethod.PC)
+                for name in ("Box", "Dropbox", "GoogleDrive")]
+    reports = compare_designs(profiles, small_workload)
+    traffics = [report.traffic_bytes for report in reports]
+    assert traffics == sorted(traffics)

@@ -1,0 +1,71 @@
+"""Tests for the upgrade quantifier (the Table 5 implications, applied)."""
+
+import pytest
+
+from repro.client import AccessMethod, service_profile
+from repro.core.upgrades import (
+    UPGRADES,
+    apply_all_upgrades,
+    apply_upgrade,
+    quantify_all,
+    quantify_upgrade,
+)
+
+
+def test_unknown_upgrade_rejected():
+    with pytest.raises(KeyError):
+        apply_upgrade(service_profile("Box", AccessMethod.PC), "teleportation")
+
+
+def test_upgrades_do_not_mutate_base_profile():
+    base = service_profile("Box", AccessMethod.PC)
+    upgraded = apply_upgrade(base, "ids")
+    assert base.delta_block is None
+    assert upgraded.delta_block is not None
+
+
+def test_bds_upgrade_saves_on_batch_creation():
+    result = quantify_upgrade("GoogleDrive", "bds")
+    assert result.saving > 0.5
+
+
+def test_ids_upgrade_saves_on_modifications():
+    result = quantify_upgrade("Box", "ids")
+    assert result.saving > 0.8
+
+
+def test_compression_upgrade_saves_on_text():
+    result = quantify_upgrade("OneDrive", "compression")
+    assert result.saving > 0.3
+
+
+def test_dedup_upgrade_saves_on_duplicates():
+    result = quantify_upgrade("SugarSync", "full-file-dedup")
+    assert result.saving > 0.4
+
+
+def test_asd_upgrade_saves_on_slow_frequent_mods():
+    result = quantify_upgrade("GoogleDrive", "asd")
+    assert result.saving > 0.7
+
+
+def test_upgrade_is_noop_for_services_that_already_have_it():
+    """Dropbox already does IDS: the upgrade must change (almost) nothing."""
+    result = quantify_upgrade("Dropbox", "ids")
+    assert abs(result.saving) < 0.05
+
+
+def test_all_upgrades_compose():
+    base = service_profile("Box", AccessMethod.PC)
+    loaded = apply_all_upgrades(base)
+    assert loaded.uses_ids
+    assert loaded.dedup.enabled
+    assert loaded.upload_compression.enabled
+
+
+def test_quantify_all_covers_matrix():
+    results = quantify_all(services=("Box",))
+    assert {result.upgrade for result in results} == set(UPGRADES)
+    for result in results:
+        assert result.traffic_before > 0
+        assert result.traffic_after > 0

@@ -1,0 +1,76 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.client import AccessMethod, SyncSession
+from repro.cloud import NotFound
+from repro.units import KB, MB
+from repro.workloads import (
+    appending_stream,
+    collaborative_editing,
+    log_rotation,
+    mixed_office,
+    photo_import,
+    source_tree_checkout,
+)
+
+ALL_WORKLOADS = [
+    ("photo_import", photo_import(count=4, photo_size=256 * KB)),
+    ("source_tree", source_tree_checkout(files=20)),
+    ("collab_editing", collaborative_editing(saves=10)),
+    ("appending", appending_stream(total=32 * KB, chunk=4 * KB)),
+    ("log_rotation", log_rotation(rotations=2, grow_to=64 * KB, step=16 * KB)),
+    ("mixed_office", mixed_office()),
+]
+
+
+@pytest.mark.parametrize("name,workload", ALL_WORKLOADS,
+                         ids=[name for name, _ in ALL_WORKLOADS])
+def test_workload_converges_and_reports_update(name, workload):
+    session = SyncSession("Dropbox", AccessMethod.PC)
+    update = workload(session)
+    session.run_until_idle()
+    assert update > 0
+    assert session.total_traffic > 0
+    # Every surviving local file is on the cloud byte-for-byte.
+    for path in session.folder.paths():
+        assert session.server.download("user1", path) == \
+            session.folder.get(path).data
+
+
+@pytest.mark.parametrize("name,workload", ALL_WORKLOADS,
+                         ids=[name for name, _ in ALL_WORKLOADS])
+def test_workload_deterministic(name, workload):
+    first = SyncSession("Box", AccessMethod.PC)
+    second = SyncSession("Box", AccessMethod.PC)
+    assert workload(first) == workload(second)
+    first.run_until_idle()
+    second.run_until_idle()
+    assert first.total_traffic == second.total_traffic
+
+
+def test_photo_import_has_tue_near_one_everywhere():
+    """Unmodified media: even full-file services are efficient (§4.3)."""
+    session = SyncSession("GoogleDrive", AccessMethod.PC)
+    update = photo_import(count=3, photo_size=1 * MB)(session)
+    session.run_until_idle()
+    assert session.total_traffic / update < 1.3
+
+
+def test_source_tree_separates_bds_from_non_bds():
+    def tue(service):
+        session = SyncSession(service, AccessMethod.PC)
+        update = source_tree_checkout(files=40)(session)
+        session.run_until_idle()
+        return session.total_traffic / update
+
+    assert tue("UbuntuOne") < tue("GoogleDrive") / 2
+
+
+def test_mixed_office_rename_stayed_renamed():
+    session = SyncSession("Dropbox", AccessMethod.PC)
+    mixed_office()(session)
+    session.run_until_idle()
+    assert session.server.download("user1", "docs/final.doc")
+    with pytest.raises(NotFound):
+        session.server.download("user1", "docs/report00.doc")
