@@ -1,0 +1,61 @@
+"""Experiment 8 — TUE under failure: resumable vs. restart-from-zero clients.
+
+Chunked uploads run while seeded fault episodes (loss bursts, blackouts,
+server brownouts) hit the wire.  The fault *rate* thins one pre-drawn
+schedule, so a higher rate keeps a strict superset of a lower rate's
+episodes and the sweep moves exactly one variable.  The readout decomposes
+total traffic into useful and failure-induced (wasted) bytes:
+
+* the restart-from-zero client's TUE climbs strictly with the fault rate
+  (every failure re-sends the delivered prefix as pure waste);
+* the resumable client stays strictly cheaper at every nonzero rate;
+* at rate 0 the two are byte-identical and nothing is wasted.
+"""
+
+from conftest import emit, run_once
+
+from repro.core import experiment8_faults, run_faulty_sync
+from repro.reporting import render_table
+
+FAULT_RATES = (0.0, 0.1, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_faults_tue_sweep(benchmark):
+    sweep = run_once(benchmark, experiment8_faults, fault_rates=FAULT_RATES)
+    resumable, restart = sweep[True], sweep[False]
+
+    rows = []
+    for res, nores in zip(resumable, restart):
+        rows.append([
+            f"{res.fault_rate:.2f}",
+            f"{nores.tue:.3f}", f"{nores.wasted:,}",
+            f"{res.tue:.3f}", f"{res.wasted:,}",
+        ])
+    emit("exp8_faults", render_table(
+        ["fault rate", "TUE (restart)", "wasted B (restart)",
+         "TUE (resume)", "wasted B (resume)"],
+        rows,
+        title="Experiment 8 — TUE vs. fault rate, by recovery design"))
+
+    # Determinism: the same seed reproduces byte-identical traffic totals.
+    again = run_faulty_sync(fault_rate=0.5, resumable=False)
+    baseline = next(r for r in restart if r.fault_rate == 0.5)
+    assert again == baseline
+
+    # Restart-from-zero TUE strictly increases with the fault rate.
+    restart_tues = [r.tue for r in restart]
+    assert all(a < b for a, b in zip(restart_tues, restart_tues[1:]))
+
+    # The resumable client is strictly cheaper at every nonzero rate.
+    for res, nores in zip(resumable, restart):
+        if res.fault_rate > 0:
+            assert res.tue < nores.tue
+            assert 0 < res.wasted < nores.wasted
+
+    # At rate 0 the recovery design is invisible: identical traffic, no waste.
+    assert resumable[0].traffic == restart[0].traffic
+    assert resumable[0].wasted == restart[0].wasted == 0
+
+    # Wasted bytes are a decomposition of the total, never additive.
+    for run in resumable + restart:
+        assert run.useful + run.wasted == run.traffic

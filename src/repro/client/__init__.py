@@ -8,6 +8,7 @@ from .defer import (
     DeferState,
     FixedDefer,
     NoDefer,
+    ScanIntervalDefer,
 )
 from .devices import CommitEvent, CommitFeed, DeviceFleet, MirrorDevice, attach_commit_feed
 from .engine import ClientStats, PendingChange, SyncClient, SyncRecord
@@ -28,6 +29,7 @@ from .profiles import (
     all_profiles,
     service_profile,
 )
+from .retry import RetriesExhausted, RetryPolicy, RetryState
 from .session import SyncSession
 
 __all__ = [
@@ -60,9 +62,13 @@ __all__ = [
     "ONEDRIVE_DEFER",
     "OverheadProfile",
     "PendingChange",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "RetryState",
     "SERVICES",
     "SUGARSYNC_DEFER",
     "SUGARSYNC_DELTA_BLOCK",
+    "ScanIntervalDefer",
     "ServiceProfile",
     "SyncClient",
     "SyncRecord",

@@ -141,8 +141,11 @@ class ScanIntervalDefer(DeferPolicy):
     """
 
     def __init__(self, interval: float):
-        if interval < 0:
-            raise ValueError("interval must be non-negative")
+        # interval == 0 would degenerate to NoDefer while *claiming* to be a
+        # scanner cadence; reject it so misconfigured profiles fail loudly.
+        if interval <= 0:
+            raise ValueError("scan interval must be positive (use NoDefer "
+                             "for scan-free change detection)")
         self.interval = interval
 
     def eligible_at(self, state: DeferState) -> float:

@@ -25,14 +25,22 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..chunking import chunk_data
-from ..cloud import CloudServer, NotFound, QuotaExceeded
+from ..cloud import CloudServer, NotFound, QuotaExceeded, TransientError
 from ..content import Content
 from ..delta import compute_delta, compute_signature
 from ..fsim import FileEvent, FileOp, SyncFolder
-from ..simnet import Channel, Link, Simulator, TrafficMeter
+from ..simnet import (
+    Channel,
+    FaultInjector,
+    Link,
+    Simulator,
+    TrafficMeter,
+    TransferInterrupted,
+)
 from .defer import DeferPolicy, DeferState
 from .hardware import M1, MachineProfile
 from .profiles import BdsMode, ServiceProfile
+from .retry import RetriesExhausted, RetryPolicy, RetryState
 
 #: Negotiation wire cost per fingerprint (hex digest + framing).
 _NEG_UP_PER_UNIT = 40
@@ -83,6 +91,9 @@ class ClientStats:
     dedup_skipped_units: int = 0
     dedup_skipped_bytes: int = 0
     failed_syncs: int = 0
+    transient_errors: int = 0
+    retries: int = 0
+    retry_giveups: int = 0
     batch_sizes: List[int] = field(default_factory=list)
     ops_per_sync: List[int] = field(default_factory=list)
 
@@ -100,6 +111,8 @@ class SyncClient:
         link: Optional[Link] = None,
         meter: Optional[TrafficMeter] = None,
         user: str = "user",
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         if link is None:
             raise ValueError("a Link is required (use simnet.mn_link()/bj_link())")
@@ -111,7 +124,11 @@ class SyncClient:
         self.link = link
         self.meter = meter or TrafficMeter()
         self.user = user
-        self.channel = Channel(sim, link, self.meter, profile.protocol)
+        self.channel = Channel(sim, link, self.meter, profile.protocol,
+                               faults=faults)
+        self.retry = retry
+        self._retry_state: Optional[RetryState] = (
+            retry.make_state() if retry is not None else None)
         self.defer_policy: DeferPolicy = profile.make_defer()
 
         self._pending: Dict[str, PendingChange] = {}
@@ -216,6 +233,13 @@ class SyncClient:
             self.stats.failed_syncs += 1
             self.failures.append((self.sim.now, str(error)))
             duration = 0.1
+        except (RetriesExhausted, TransientError, TransferInterrupted) as error:
+            # A transient failure the client could not (or would not) ride
+            # out: the sync transaction is abandoned and recorded.  Whatever
+            # bytes the failed attempts burned are already on the meter.
+            self.stats.failed_syncs += 1
+            self.failures.append((self.sim.now, str(error)))
+            duration = max(getattr(error, "elapsed", 0.0), 0.1)
         self.sim.schedule(duration, self._sync_done)
 
     def _sync_done(self) -> None:
@@ -232,6 +256,8 @@ class SyncClient:
         start = self.sim.now
         before = self.meter.snapshot()
         self.server.set_time(start)
+        if self._retry_state is not None:
+            self._retry_state.begin_transaction()
         duration = self.machine.sync_processing_time()
 
         uploads = [c for c in changes if not c.deleted]
@@ -273,6 +299,105 @@ class SyncClient:
             ops_batched=sum(c.ops for c in changes)))
         return duration
 
+    # -- resilient transfers ---------------------------------------------------
+
+    def _guarded_exchange(self, kind: str = "exchange", **kwargs) -> float:
+        """One server-bound exchange, retried under the client's retry policy.
+
+        Checks server availability first (brownout windows reject requests
+        before any payload moves), then runs the exchange; network faults
+        surface as :class:`TransferInterrupted` from the channel itself.
+        Without a retry policy the first failure propagates and the sync
+        transaction is abandoned by :meth:`_maybe_sync`.
+        """
+        if self.retry is None:
+            self.server.check_available(self.channel.effective_now())
+            return self.channel.exchange(kind=kind, **kwargs)
+        duration = 0.0
+        failures = 0
+        while True:
+            try:
+                self.server.check_available(self.channel.effective_now())
+                return duration + self.channel.exchange(kind=kind, **kwargs)
+            except (TransientError, TransferInterrupted) as error:
+                if isinstance(error, TransientError):
+                    # A rejected request still costs its framing on the wire.
+                    error.elapsed = self.channel.error_exchange(
+                        kind=kind + "-rejected")
+                failures += 1
+                duration += self._recover(error, failures)
+
+    def _recover(self, error: Exception, attempt: int) -> float:
+        """Absorb one transient failure: back off, or give up.
+
+        Returns the wall-clock cost of the failed attempt plus the backoff
+        wait; raises :class:`RetriesExhausted` once the attempt or backoff
+        budget is spent.  Honours the service's Retry-After hint when the
+        fault window's end is disclosed (waiting less would only burn more
+        rejected requests).
+        """
+        self.stats.transient_errors += 1
+        elapsed = getattr(error, "elapsed", 0.0)
+        state = self._retry_state
+        assert state is not None and self.retry is not None
+        if attempt >= self.retry.max_attempts or state.budget_exhausted():
+            self.stats.retry_giveups += 1
+            raise RetriesExhausted(
+                f"gave up after {attempt} attempt(s): {error}") from error
+        wait = state.backoff(attempt)
+        retry_at = getattr(error, "retry_at", None)
+        if retry_at is not None:
+            wait = max(wait, retry_at - self.channel.effective_now())
+        self.channel.wait(wait)
+        self.stats.retries += 1
+        return elapsed + wait
+
+    def _send_units_resilient(self, unit_wires: List[int], meta_up: int,
+                              meta_down: int, kind: str = "upload") -> float:
+        """Send a chunked payload one unit per request, surviving faults.
+
+        This is the transfer loop where ``RetryPolicy.resumable`` matters:
+        a resumable client picks up at the failed unit, while a
+        restart-from-zero client re-sends every already-delivered unit after
+        each failure — metered as pure waste via
+        :meth:`~repro.simnet.protocol.Channel.resend_wasted`, since the
+        server discards the repeated prefix.
+        """
+        policy = self.retry
+        assert policy is not None
+        per_byte = self.profile.overhead.per_byte_factor
+        duration = 0.0
+        delivered_wire = 0
+        failures = 0
+        index = 0
+        while index < len(unit_wires):
+            wire = unit_wires[index]
+            first = index == 0
+            try:
+                self.server.check_available(self.channel.effective_now())
+                duration += self.channel.exchange(
+                    up_payload=wire,
+                    up_meta=(meta_up if first else 0) + int(per_byte * wire),
+                    down_meta=meta_down if first else 0,
+                    kind=kind,
+                )
+            except (TransientError, TransferInterrupted) as error:
+                if isinstance(error, TransientError):
+                    error.elapsed = self.channel.error_exchange(
+                        kind=kind + "-rejected")
+                failures += 1
+                duration += self._recover(error, failures)
+                if not policy.resumable and delivered_wire > 0:
+                    # Restart from byte zero: the delivered prefix goes over
+                    # the wire again, and the server throws it away.
+                    duration += self.channel.resend_wasted(
+                        delivered_wire, kind=kind + "-restart")
+            else:
+                delivered_wire += wire
+                failures = 0
+                index += 1
+        return duration
+
     # -- single-file sync --------------------------------------------------------
 
     def _sync_one(self, change: PendingChange, lightweight: bool = False,
@@ -295,7 +420,7 @@ class SyncClient:
         if change.renamed_from is not None and change.renamed_from in self._shadow:
             # Metadata-only move: no content crosses the wire (§4.2's
             # attribute-change pattern applies to renames as well).
-            duration = self.channel.exchange(
+            duration = self._guarded_exchange(
                 up_meta=_DELETE_META_UP, down_meta=_DELETE_META_DOWN,
                 kind="rename")
             self.server.rename_file(self.user, change.renamed_from, path)
@@ -335,7 +460,7 @@ class SyncClient:
             wire_literals = profile.upload_compression.wire_size(Content(literals))
             payload = wire_literals + (delta.wire_size - len(literals))
             duration += self._polls(overhead.requests_per_sync - 1)
-            duration += self.channel.exchange(
+            duration += self._guarded_exchange(
                 up_payload=payload,
                 up_meta=overhead.meta_up + int(overhead.per_byte_factor * payload),
                 down_meta=overhead.meta_down,
@@ -371,7 +496,7 @@ class SyncClient:
 
         missing = digests
         if profile.dedup.enabled:
-            duration += self.channel.exchange(
+            duration += self._guarded_exchange(
                 up_meta=_NEG_BASE_UP + _NEG_UP_PER_UNIT * len(digests),
                 down_meta=_NEG_BASE_DOWN + _NEG_DOWN_PER_UNIT * len(digests),
                 kind="dedup-negotiation",
@@ -380,11 +505,14 @@ class SyncClient:
 
         missing_set = set(missing)
         payload = 0
+        unit_wires = []
         keys = []
         sizes = []
         for unit in units:
             if unit.digest in missing_set:
-                payload += profile.upload_compression.wire_size(Content(unit.data))
+                wire = profile.upload_compression.wire_size(Content(unit.data))
+                payload += wire
+                unit_wires.append(wire)
                 key = self.server.upload_chunk(self.user, unit.digest, unit.data)
                 missing_set.discard(unit.digest)
             else:
@@ -405,12 +533,18 @@ class SyncClient:
             meta_up = overhead.meta_up
             meta_down = overhead.meta_down
             duration += self._polls(overhead.requests_per_sync - 1)
-        duration += self.channel.exchange(
-            up_payload=payload,
-            up_meta=meta_up + int(overhead.per_byte_factor * payload),
-            down_meta=meta_down,
-            kind="upload",
-        )
+        if self.retry is not None and len(unit_wires) > 1:
+            # Chunked transfer under a retry policy goes one unit per
+            # request so a fault costs (at most, if resumable) one unit.
+            duration += self._send_units_resilient(
+                unit_wires, meta_up, meta_down, kind="upload")
+        else:
+            duration += self._guarded_exchange(
+                up_payload=payload,
+                up_meta=meta_up + int(overhead.per_byte_factor * payload),
+                down_meta=meta_down,
+                kind="upload",
+            )
         if commit:
             self.server.commit(self.user, path, content.size, content.md5,
                                digests, keys, sizes)
@@ -437,7 +571,7 @@ class SyncClient:
         digests = [u.digest for _, _, units in all_units for u in units]
         missing = digests
         if profile.dedup.enabled and digests:
-            duration += self.channel.exchange(
+            duration += self._guarded_exchange(
                 up_meta=_NEG_BASE_UP + _NEG_UP_PER_UNIT * len(digests),
                 down_meta=_NEG_BASE_DOWN + _NEG_DOWN_PER_UNIT * len(digests),
                 kind="dedup-negotiation",
@@ -462,7 +596,7 @@ class SyncClient:
             commits.append((change, content, [u.digest for u in units], keys, sizes))
 
         manifest_bytes = profile.bds.per_file_bytes * len(commits)
-        duration += self.channel.exchange(
+        duration += self._guarded_exchange(
             up_payload=total_payload,
             up_meta=overhead.meta_up + manifest_bytes
             + int(overhead.per_byte_factor * total_payload),
@@ -489,7 +623,7 @@ class SyncClient:
             target = change.renamed_from
         else:
             return 0.0  # created and deleted before ever reaching the cloud
-        duration = self.channel.exchange(
+        duration = self._guarded_exchange(
             up_meta=_DELETE_META_UP, down_meta=_DELETE_META_DOWN, kind="delete")
         try:
             self.server.delete_file(self.user, target)
@@ -507,7 +641,8 @@ class SyncClient:
         """Auxiliary request/response exchanges some protocols issue."""
         duration = 0.0
         for _ in range(max(count, 0)):
-            duration += self.channel.exchange(up_meta=250, down_meta=250, kind="poll")
+            duration += self._guarded_exchange(
+                up_meta=250, down_meta=250, kind="poll")
         return duration
 
     # -- downloads ------------------------------------------------------------
@@ -523,7 +658,7 @@ class SyncClient:
         data = self.server.download(self.user, path)
         content = Content(data)
         wire = self.profile.download_compression.wire_size(content)
-        self.channel.exchange(
+        self._guarded_exchange(
             up_meta=400,
             down_payload=wire,
             down_meta=overhead.meta_down

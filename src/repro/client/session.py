@@ -15,10 +15,20 @@ from typing import Optional, Union
 from ..cloud import CloudServer
 from ..content import Content, random_content, text_content
 from ..fsim import SyncFolder
-from ..simnet import Link, LinkSpec, NetworkEmulator, Simulator, TrafficMeter, mn_link
+from ..simnet import (
+    FaultInjector,
+    FaultSchedule,
+    Link,
+    LinkSpec,
+    NetworkEmulator,
+    Simulator,
+    TrafficMeter,
+    mn_link,
+)
 from .engine import SyncClient
 from .hardware import M1, MachineProfile
 from .profiles import AccessMethod, ServiceProfile, service_profile
+from .retry import RetryPolicy
 
 
 class SyncSession:
@@ -33,6 +43,8 @@ class SyncSession:
         sim: Optional[Simulator] = None,
         server: Optional[CloudServer] = None,
         user: str = "user1",
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[Union[FaultInjector, FaultSchedule]] = None,
     ):
         if isinstance(profile, str):
             profile = service_profile(profile, access)
@@ -45,12 +57,17 @@ class SyncSession:
             storage_chunk_size=profile.storage_chunk_size,
             name=profile.name,
         )
+        if isinstance(faults, FaultSchedule):
+            faults = FaultInjector(faults)
+        self.faults = faults
+        if faults is not None:
+            self.server.attach_faults(faults)
         self.folder = SyncFolder(self.sim)
         self.meter = TrafficMeter()
         self.client = SyncClient(
             sim=self.sim, folder=self.folder, server=self.server,
             profile=profile, machine=machine, link=self.link,
-            meter=self.meter, user=user,
+            meter=self.meter, user=user, retry=retry, faults=faults,
         )
         self._update_bytes = 0
         self.folder.subscribe(self._track_update)
@@ -107,6 +124,23 @@ class SyncSession:
     def total_traffic(self) -> int:
         """Total sync traffic in bytes, both directions (TUE numerator)."""
         return self.meter.total_bytes
+
+    @property
+    def wasted_traffic(self) -> int:
+        """Failure-induced bytes: retransmissions, aborted sends, re-sends."""
+        return self.meter.wasted_bytes
+
+    @property
+    def useful_traffic(self) -> int:
+        """Total traffic minus the failure-induced component."""
+        return self.meter.useful_bytes
+
+    def traffic_report(self, update_size: Optional[int] = None):
+        """Full :class:`~repro.core.tue.TrafficReport` for this session."""
+        from ..core.tue import TrafficReport  # local: core imports client
+
+        denominator = self._update_bytes if update_size is None else update_size
+        return TrafficReport.from_meter(self.meter, denominator)
 
     def tue(self, update_size: Optional[int] = None) -> float:
         """Traffic Usage Efficiency (Eq. 1)."""

@@ -9,6 +9,9 @@ from .errors import (
     IntegrityError,
     NotFound,
     QuotaExceeded,
+    RateLimited,
+    ServiceUnavailable,
+    TransientError,
 )
 from .metadata import FileEntry, FileVersion, MetadataServer
 from .midlayer import ChunkStore
@@ -35,6 +38,9 @@ __all__ = [
     "ObjectRecord",
     "ObjectStore",
     "QuotaExceeded",
+    "RateLimited",
     "RestOpCounters",
     "ServerStats",
+    "ServiceUnavailable",
+    "TransientError",
 ]

@@ -2,9 +2,33 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class CloudError(Exception):
     """Base class for cloud-side failures."""
+
+
+class TransientError(CloudError):
+    """A temporary, retryable failure (brownout, throttling).
+
+    ``retry_at`` is the earliest virtual time a retry can succeed (the end
+    of the fault window), when the service discloses it.  ``elapsed`` is
+    filled in by the client with the wall-clock cost of the failed attempt.
+    """
+
+    def __init__(self, message: str = "", retry_at: Optional[float] = None):
+        super().__init__(message)
+        self.retry_at = retry_at
+        self.elapsed = 0.0
+
+
+class ServiceUnavailable(TransientError):
+    """The service is down for maintenance or overloaded (HTTP 503)."""
+
+
+class RateLimited(TransientError):
+    """The client exceeded its request budget (HTTP 429, Retry-After)."""
 
 
 class NotFound(CloudError):

@@ -24,9 +24,10 @@ from typing import List, Optional, Sequence
 
 from ..chunking import fingerprint
 from ..delta import Delta, apply_delta as apply_rsync_delta
+from ..simnet.faults import FaultKind
 from .accounts import AccountRegistry
 from .dedup import DedupConfig, DedupIndex
-from .errors import IntegrityError, NotFound
+from .errors import IntegrityError, NotFound, RateLimited, ServiceUnavailable
 from .metadata import FileVersion, MetadataServer
 from .midlayer import ChunkStore
 from .object_store import ObjectStore
@@ -41,6 +42,7 @@ class ServerStats:
     dedup_bytes_saved: int = 0
     delta_applications: int = 0
     commits: int = 0
+    requests_rejected: int = 0
 
 
 class CloudServer:
@@ -64,10 +66,43 @@ class CloudServer:
         self.dedup = DedupIndex(self.dedup_config)
         self.stats = ServerStats()
         self.now = 0.0
+        #: Optional fault injector (see :mod:`repro.simnet.faults`): during
+        #: its SERVER_UNAVAILABLE / RATE_LIMIT windows the front door answers
+        #: every request with a transient error instead of serving it.
+        self.faults = None
 
     def set_time(self, now: float) -> None:
         self.now = now
         self.objects.set_time(now)
+
+    # -- availability (fault injection) --------------------------------------
+
+    def attach_faults(self, injector) -> None:
+        """Subject this server to a fault injector's brownout windows."""
+        self.faults = injector
+
+    def check_available(self, now: Optional[float] = None) -> None:
+        """Raise the transient error matching any brownout active at ``now``.
+
+        Clients call this at the front of every server-bound request with
+        their wire-level clock (which advances within a sync transaction);
+        it defaults to the server's own coarser notion of time.
+        """
+        if self.faults is None:
+            return
+        time = self.now if now is None else now
+        episode = self.faults.server_episode(time)
+        if episode is None:
+            return
+        self.faults.note_server_fault(episode)
+        self.stats.requests_rejected += 1
+        if episode.kind is FaultKind.RATE_LIMIT:
+            raise RateLimited(
+                f"{self.name}: request budget exhausted until t={episode.end:.3f}s",
+                retry_at=episode.end)
+        raise ServiceUnavailable(
+            f"{self.name}: service brownout until t={episode.end:.3f}s",
+            retry_at=episode.end)
 
     # -- dedup negotiation ---------------------------------------------------
 

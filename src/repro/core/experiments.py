@@ -420,7 +420,7 @@ def experiment7_latency(
 
 def experiment7_hardware(
     service: str = "Dropbox",
-    machines: Sequence[MachineProfile] = None,
+    machines: Optional[Sequence[MachineProfile]] = None,
     xs: Iterable[float] = (1, 2, 3, 4, 6, 8, 10),
     total: int = 512 * KB,
 ) -> Dict[str, List[Tuple[float, float]]]:
@@ -435,3 +435,108 @@ def experiment7_hardware(
             for x in xs
         ]
     return curves
+
+
+# ---------------------------------------------------------------------------
+# Experiment 8 — sync under failure: TUE vs. fault rate
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultRun:
+    """One (fault-rate, retry-policy) point of the Experiment 8 sweep."""
+
+    service: str
+    fault_rate: float
+    resumable: bool
+    traffic: int
+    wasted: int
+    useful: int
+    tue: float
+    transient_errors: int
+    retries: int
+    failed_syncs: int
+
+    @property
+    def wasted_fraction(self) -> float:
+        return self.wasted / self.traffic if self.traffic else 0.0
+
+
+def run_faulty_sync(
+    service: str = "Dropbox",
+    fault_rate: float = 1.0,
+    resumable: bool = True,
+    seed: int = 8,
+    file_size: int = 1 * MB,
+    file_count: int = 4,
+    unit_size: int = 256 * KB,
+    spacing: float = 60.0,
+    link_spec: Optional[LinkSpec] = None,
+    horizon: float = 600.0,
+    mean_interval: float = 12.0,
+    mean_duration: float = 2.5,
+) -> FaultRun:
+    """Upload ``file_count`` chunked files while faults hit the wire.
+
+    The fault episodes are pre-drawn once from ``seed`` over ``horizon``
+    seconds and then *thinned* to ``fault_rate`` — a higher rate keeps a
+    strict superset of a lower rate's episodes, so sweeping the rate moves
+    exactly one variable.  ``resumable`` selects the client's recovery
+    design (resume at the failed unit vs. restart from byte zero).
+    """
+    from dataclasses import replace
+
+    from ..client import RetryPolicy
+    from ..simnet import FaultSchedule, bj_link
+
+    profile = replace(service_profile(service, AccessMethod.PC),
+                      storage_chunk_size=unit_size)
+    schedule = FaultSchedule.generate(
+        seed=seed, horizon=horizon,
+        mean_interval=mean_interval, mean_duration=mean_duration)
+    # A generous attempt/budget cap: the sweep measures the traffic *cost*
+    # of recovery designs, so every upload must eventually complete — a
+    # give-up would drop payload and confound the TUE comparison.
+    retry = RetryPolicy(resumable=resumable, seed=seed,
+                        max_attempts=20, backoff_budget=1200.0)
+    session = SyncSession(
+        profile,
+        link_spec=link_spec or bj_link(),
+        retry=retry,
+        faults=schedule.thin(fault_rate),
+    )
+    for index in range(file_count):
+        session.create_random_file(f"exp8/file{index:02d}.bin", file_size,
+                                   seed=seed * 1000 + index)
+        session.advance(spacing)
+    session.run_until_idle()
+    stats = session.client.stats
+    update = file_count * file_size
+    return FaultRun(
+        service=service, fault_rate=fault_rate, resumable=resumable,
+        traffic=session.total_traffic,
+        wasted=session.wasted_traffic,
+        useful=session.useful_traffic,
+        tue=session.total_traffic / update,
+        transient_errors=stats.transient_errors,
+        retries=stats.retries,
+        failed_syncs=stats.failed_syncs,
+    )
+
+
+def experiment8_faults(
+    service: str = "Dropbox",
+    fault_rates: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    **kwargs,
+) -> Dict[bool, List[FaultRun]]:
+    """TUE vs. fault rate for resumable and restart-from-zero clients.
+
+    Returns ``{True: [...], False: [...]}`` keyed by ``resumable``; the two
+    sweeps share seeds and schedules, so at rate 0 they are byte-identical
+    and every gap at a nonzero rate is purely the recovery design.
+    """
+    return {
+        resumable: [run_faulty_sync(service, rate, resumable=resumable,
+                                    **kwargs)
+                    for rate in fault_rates]
+        for resumable in (True, False)
+    }

@@ -39,13 +39,22 @@ def overhead_traffic(total_sync_traffic: int, payload_size: int) -> int:
 
 @dataclass(frozen=True)
 class TrafficReport:
-    """A complete TUE readout for one experiment run."""
+    """A complete TUE readout for one experiment run.
+
+    ``up_wasted`` / ``down_wasted`` decompose the totals above into the
+    failure-induced component (retransmissions under loss bursts, aborted
+    sends, restart-from-zero re-sends, rejected requests).  They are a
+    *subset* of payload+overhead, never additive, so every pre-existing TUE
+    number is unchanged when no faults are injected (both are then zero).
+    """
 
     up_payload: int
     up_overhead: int
     down_payload: int
     down_overhead: int
     data_update_size: int
+    up_wasted: int = 0
+    down_wasted: int = 0
 
     @property
     def total(self) -> int:
@@ -61,12 +70,31 @@ class TrafficReport:
         return self.up_payload + self.down_payload
 
     @property
+    def wasted(self) -> int:
+        """Failure-induced bytes (already included in :attr:`total`)."""
+        return self.up_wasted + self.down_wasted
+
+    @property
+    def useful(self) -> int:
+        """Bytes the sync protocol would have moved on a healthy network."""
+        return self.total - self.wasted
+
+    @property
     def tue(self) -> float:
         return tue(self.total, self.data_update_size)
 
     @property
+    def useful_tue(self) -> float:
+        """TUE of the useful component alone — the healthy-network baseline."""
+        return tue(self.useful, self.data_update_size)
+
+    @property
     def overhead_fraction(self) -> float:
         return self.overhead / self.total if self.total else 0.0
+
+    @property
+    def wasted_fraction(self) -> float:
+        return self.wasted / self.total if self.total else 0.0
 
     @staticmethod
     def from_meter(meter: TrafficMeter, data_update_size: int) -> "TrafficReport":
@@ -76,6 +104,8 @@ class TrafficReport:
             down_payload=meter.down.payload,
             down_overhead=meter.down.overhead,
             data_update_size=data_update_size,
+            up_wasted=meter.up.wasted,
+            down_wasted=meter.down.wasted,
         )
 
     @staticmethod
@@ -86,4 +116,6 @@ class TrafficReport:
             down_payload=snapshot.down_payload,
             down_overhead=snapshot.down_overhead,
             data_update_size=data_update_size,
+            up_wasted=snapshot.up_wasted,
+            down_wasted=snapshot.down_wasted,
         )

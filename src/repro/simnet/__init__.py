@@ -13,6 +13,14 @@ from .analysis import (
     throughput_series,
 )
 from .clock import Event, SimulationError, Simulator
+from .faults import (
+    FaultEpisode,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    FaultStats,
+    TransferInterrupted,
+)
 from .link import (
     ACK_SIZE,
     MSS,
@@ -37,6 +45,12 @@ __all__ = [
     "throughput_series",
     "Direction",
     "Event",
+    "FaultEpisode",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultStats",
+    "TransferInterrupted",
     "Link",
     "LinkSpec",
     "MSS",

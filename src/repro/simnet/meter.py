@@ -25,13 +25,20 @@ class Direction(enum.Enum):
 
 @dataclass(frozen=True)
 class TrafficRecord:
-    """One metered wire event (a transfer, handshake, ack stream, ...)."""
+    """One metered wire event (a transfer, handshake, ack stream, ...).
+
+    ``wasted`` marks the failure-induced portion of the record — bytes that
+    crossed the wire but delivered no new data (retransmissions, aborted
+    transfers, rejected requests).  It is a *decomposition* of
+    ``payload + overhead``, never an addition to it.
+    """
 
     time: float
     direction: Direction
     payload: int
     overhead: int
     kind: str = ""
+    wasted: int = 0
 
     @property
     def total(self) -> int:
@@ -44,14 +51,20 @@ class TrafficTotals:
 
     payload: int = 0
     overhead: int = 0
+    wasted: int = 0
 
     @property
     def total(self) -> int:
         return self.payload + self.overhead
 
-    def add(self, payload: int, overhead: int) -> None:
+    @property
+    def useful(self) -> int:
+        return self.total - self.wasted
+
+    def add(self, payload: int, overhead: int, wasted: int = 0) -> None:
         self.payload += payload
         self.overhead += overhead
+        self.wasted += wasted
 
 
 class TrafficMeter:
@@ -76,13 +89,21 @@ class TrafficMeter:
         payload: int,
         overhead: int = 0,
         kind: str = "",
+        wasted: int = 0,
     ) -> TrafficRecord:
-        """Meter one wire event; negative byte counts are programming errors."""
-        if payload < 0 or overhead < 0:
+        """Meter one wire event; negative byte counts are programming errors.
+
+        ``wasted`` tags how much of this record was failure-induced; it must
+        not exceed ``payload + overhead`` (it is a split, not extra bytes).
+        """
+        if payload < 0 or overhead < 0 or wasted < 0:
             raise ValueError("traffic byte counts must be non-negative")
-        entry = TrafficRecord(time, direction, int(payload), int(overhead), kind)
+        if wasted > payload + overhead:
+            raise ValueError("wasted bytes cannot exceed the record's total")
+        entry = TrafficRecord(time, direction, int(payload), int(overhead),
+                              kind, int(wasted))
         self.records.append(entry)
-        self._totals[direction].add(entry.payload, entry.overhead)
+        self._totals[direction].add(entry.payload, entry.overhead, entry.wasted)
         return entry
 
     # -- totals ----------------------------------------------------------
@@ -108,6 +129,16 @@ class TrafficMeter:
     def overhead_bytes(self) -> int:
         return self.up.overhead + self.down.overhead
 
+    @property
+    def wasted_bytes(self) -> int:
+        """Failure-induced bytes (retransmissions, aborts, rejected requests)."""
+        return self.up.wasted + self.down.wasted
+
+    @property
+    def useful_bytes(self) -> int:
+        """Total sync traffic minus the failure-induced component."""
+        return self.total_bytes - self.wasted_bytes
+
     def bytes_by_kind(self) -> Dict[str, int]:
         """Total bytes grouped by record kind (handshake, payload, ack, ...)."""
         out: Dict[str, int] = {}
@@ -123,6 +154,8 @@ class TrafficMeter:
             down_payload=self.down.payload,
             down_overhead=self.down.overhead,
             record_count=len(self.records),
+            up_wasted=self.up.wasted,
+            down_wasted=self.down.wasted,
         )
 
     def since(self, snapshot: "MeterSnapshot") -> "MeterSnapshot":
@@ -133,6 +166,8 @@ class TrafficMeter:
             down_payload=self.down.payload - snapshot.down_payload,
             down_overhead=self.down.overhead - snapshot.down_overhead,
             record_count=len(self.records) - snapshot.record_count,
+            up_wasted=self.up.wasted - snapshot.up_wasted,
+            down_wasted=self.down.wasted - snapshot.down_wasted,
         )
 
     def records_since(self, snapshot: "MeterSnapshot") -> Iterable[TrafficRecord]:
@@ -143,6 +178,7 @@ class TrafficMeter:
         for totals in self._totals.values():
             totals.payload = 0
             totals.overhead = 0
+            totals.wasted = 0
 
 
 @dataclass(frozen=True)
@@ -154,6 +190,8 @@ class MeterSnapshot:
     down_payload: int = 0
     down_overhead: int = 0
     record_count: int = 0
+    up_wasted: int = 0
+    down_wasted: int = 0
 
     @property
     def up_total(self) -> int:
@@ -174,3 +212,11 @@ class MeterSnapshot:
     @property
     def overhead(self) -> int:
         return self.up_overhead + self.down_overhead
+
+    @property
+    def wasted(self) -> int:
+        return self.up_wasted + self.down_wasted
+
+    @property
+    def useful(self) -> int:
+        return self.total - self.wasted

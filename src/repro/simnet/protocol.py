@@ -21,8 +21,10 @@ depend on serialisation delay and RTT counts, not on slow-start dynamics
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from .clock import Simulator
+from .faults import FaultInjector, TransferInterrupted
 from .link import Link
 from .meter import Direction, TrafficMeter
 
@@ -48,6 +50,9 @@ class ProtocolCosts:
     #: issued while the uplink queue drains waits behind it.  Real and large
     #: on low-bandwidth residential uplinks like the paper's BJ vantage point.
     queue_inflation: float = 6.0
+    #: How long the client takes to notice a dead link (RTO-style timeout)
+    #: when a fault-injection blackout swallows its traffic.
+    fault_detect_timeout: float = 1.0
 
 
 class Channel:
@@ -60,20 +65,42 @@ class Channel:
     """
 
     def __init__(self, sim: Simulator, link: Link, meter: TrafficMeter,
-                 costs: ProtocolCosts = None):
+                 costs: Optional[ProtocolCosts] = None,
+                 faults: Optional[FaultInjector] = None):
         self.sim = sim
         self.link = link
         self.meter = meter
         self.costs = costs or ProtocolCosts()
+        self.faults = faults
         self._connected_until: float = -1.0
+        #: End time of the latest exchange — lets fault lookups see time
+        #: advance *within* a sync transaction, whose exchanges all run at
+        #: one frozen ``sim.now``.
+        self._busy_until: float = 0.0
         self.handshake_count = 0
         self.exchange_count = 0
 
+    # -- intra-transaction time ------------------------------------------
+
+    def effective_now(self) -> float:
+        """Wire-level current time: the simulator clock, advanced past any
+        exchanges already performed in the current sync transaction.
+
+        Without a fault injector this is exactly ``sim.now``, preserving the
+        historical (and calibrated) keep-alive behaviour byte for byte.
+        """
+        if self.faults is None:
+            return self.sim.now
+        return max(self.sim.now, self._busy_until)
+
+    def wait(self, seconds: float) -> None:
+        """Advance the wire clock without traffic (retry backoff sleeps)."""
+        self._busy_until = self.effective_now() + max(seconds, 0.0)
+
     # -- connection management -------------------------------------------
 
-    def _ensure_connection(self) -> float:
+    def _ensure_connection(self, now: float) -> float:
         """Meter a handshake if the keep-alive window lapsed; return its duration."""
-        now = self.sim.now
         if now <= self._connected_until:
             return 0.0
         costs = self.costs
@@ -112,10 +139,15 @@ class Channel:
         (indexes, JSON envelopes) metered as overhead on top of the fixed
         HTTP framing.  ``extra_rtts`` models additional protocol round trips
         (e.g. chunked commit protocols).
+
+        With a fault injector attached, loss bursts inflate the expected
+        retransmissions and a blackout overlapping the transfer aborts it:
+        the bytes already sent are metered as wasted traffic and
+        :class:`TransferInterrupted` is raised for the client's retry policy.
         """
-        duration = self._ensure_connection()
+        start = self.effective_now()
+        duration = self._ensure_connection(start)
         costs = self.costs
-        now = self.sim.now
 
         up_overhead_app = costs.request_header + up_meta
         down_overhead_app = costs.response_header + down_meta
@@ -125,24 +157,22 @@ class Channel:
         up_hdr, up_acks = self.link.wire_cost(up_wire)
         down_hdr, down_acks = self.link.wire_cost(down_wire)
 
-        # Loss: expected retransmissions add overhead bytes and recovery RTTs.
-        up_retx = self.link.retransmit_overhead(up_wire + up_hdr)
-        down_retx = self.link.retransmit_overhead(down_wire + down_hdr)
-
-        # Forward bytes (payload split out) + reverse ACK streams.
-        self.meter.record(now, Direction.UP, up_payload,
-                          up_overhead_app + up_hdr + down_acks + up_retx,
-                          kind=kind)
-        self.meter.record(now, Direction.DOWN, down_payload,
-                          down_overhead_app + down_hdr + up_acks + down_retx,
-                          kind=kind)
+        # Loss: expected retransmissions add overhead bytes and recovery
+        # RTTs.  An active loss burst raises the loss rate for this exchange.
+        loss_rate: Optional[float] = None
+        if self.faults is not None:
+            boost = self.faults.loss_boost(start)
+            if boost > 0.0:
+                loss_rate = min(self.link.spec.loss_rate + boost, 0.95)
+        up_retx = self.link.retransmit_overhead(up_wire + up_hdr, loss_rate)
+        down_retx = self.link.retransmit_overhead(down_wire + down_hdr, loss_rate)
 
         up_transfer = self.link.transfer_time(up_wire + up_hdr + up_retx,
                                               upstream=True)
         down_transfer = self.link.transfer_time(down_wire + down_hdr + down_retx,
                                                 upstream=False)
         rtts = (costs.exchange_rtts + extra_rtts + self._slow_start_rtts(up_wire)
-                + self.link.recovery_rtts(up_wire + up_hdr))
+                + self.link.recovery_rtts(up_wire + up_hdr, loss_rate=loss_rate))
         # Bufferbloat: round trips issued during the upload wait behind the
         # uplink queue, so each effective RTT stretches by the residual
         # serialisation delay.
@@ -151,8 +181,105 @@ class Channel:
             up_transfer + down_transfer
             + self.link.round_trip_time(rtts) + queue_delay
         )
+
+        if self.faults is not None:
+            episode = self.faults.interrupting_blackout(start, start + duration)
+            if episode is not None:
+                raise self._interrupt(
+                    start, duration, episode, kind,
+                    gross_up=up_wire + up_hdr + up_retx,
+                    gross_down=down_wire + down_hdr + down_retx)
+
+        # Forward bytes (payload split out) + reverse ACK streams.  The
+        # retransmitted portion is real wire traffic but delivers nothing
+        # new, so it is tagged as the record's wasted component.
+        self.meter.record(start, Direction.UP, up_payload,
+                          up_overhead_app + up_hdr + down_acks + up_retx,
+                          kind=kind, wasted=up_retx)
+        self.meter.record(start, Direction.DOWN, down_payload,
+                          down_overhead_app + down_hdr + up_acks + down_retx,
+                          kind=kind, wasted=down_retx)
+
         self.exchange_count += 1
-        end_time = now + duration
+        end_time = start + duration
+        self._busy_until = end_time
+        self._touch(end_time)
+        return duration
+
+    def _interrupt(self, start: float, duration: float, episode,
+                   kind: str, gross_up: int, gross_down: int) -> TransferInterrupted:
+        """Abort an exchange swallowed by a blackout; meter the waste."""
+        costs = self.costs
+        fail_at = max(episode.start, start)
+        progress = (fail_at - start) / duration if duration > 0 else 0.0
+        sent_up = int(gross_up * progress)
+        sent_down = int(gross_down * progress)
+        mid_transfer = sent_up > 0 or sent_down > 0
+        if not mid_transfer:
+            # The connection attempt ran straight into the outage: only the
+            # unanswered SYN retries cross the wire.
+            sent_up = costs.tcp_handshake_up
+        detect = min(costs.fault_detect_timeout, max(episode.end - fail_at, 0.0))
+        elapsed = (fail_at - start) + detect
+        self.meter.record(fail_at, Direction.UP, 0, sent_up,
+                          kind=kind + "-aborted", wasted=sent_up)
+        if sent_down:
+            self.meter.record(fail_at, Direction.DOWN, 0, sent_down,
+                              kind=kind + "-aborted", wasted=sent_down)
+        self.faults.note_abort(sent_up + sent_down, mid_transfer)
+        self._busy_until = start + elapsed
+        self._connected_until = -1.0  # the blackout killed the connection
+        return TransferInterrupted(
+            f"link blackout at t={fail_at:.3f}s aborted {kind!r}",
+            elapsed=elapsed, retry_at=episode.end, wasted=sent_up + sent_down)
+
+    def error_exchange(self, kind: str = "rejected") -> float:
+        """A request the service refuses outright (503/429, no body).
+
+        The request/response framing still crosses the wire; all of it is
+        failure-induced, so the whole exchange is metered as wasted.
+        """
+        start = self.effective_now()
+        duration = self._ensure_connection(start)
+        costs = self.costs
+        up_hdr, up_acks = self.link.wire_cost(costs.request_header)
+        down_hdr, down_acks = self.link.wire_cost(costs.response_header)
+        up_bytes = costs.request_header + up_hdr + down_acks
+        down_bytes = costs.response_header + down_hdr + up_acks
+        self.meter.record(start, Direction.UP, 0, up_bytes,
+                          kind=kind, wasted=up_bytes)
+        self.meter.record(start, Direction.DOWN, 0, down_bytes,
+                          kind=kind, wasted=down_bytes)
+        duration += (self.link.transfer_time(up_bytes, upstream=True)
+                     + self.link.transfer_time(down_bytes, upstream=False)
+                     + self.link.round_trip_time(costs.exchange_rtts))
+        end_time = start + duration
+        self._busy_until = end_time
+        self._touch(end_time)
+        return duration
+
+    def resend_wasted(self, wire_bytes: int, kind: str = "restart") -> float:
+        """Re-send ``wire_bytes`` that were already delivered once.
+
+        Used by restart-from-zero clients: after a mid-file failure, every
+        chunk delivered before the failure is pushed again.  The repeat
+        delivers no new data, so it is metered entirely as wasted overhead.
+        """
+        if wire_bytes <= 0:
+            return 0.0
+        start = self.effective_now()
+        duration = self._ensure_connection(start)
+        hdr, acks = self.link.wire_cost(wire_bytes)
+        gross_up = wire_bytes + hdr
+        self.meter.record(start, Direction.UP, 0, gross_up,
+                          kind=kind, wasted=gross_up)
+        self.meter.record(start, Direction.DOWN, 0, acks,
+                          kind=kind, wasted=acks)
+        up_transfer = self.link.transfer_time(gross_up, upstream=True)
+        duration += (up_transfer * (1.0 + self.costs.queue_inflation)
+                     + self.link.round_trip_time(1.0))
+        end_time = start + duration
+        self._busy_until = end_time
         self._touch(end_time)
         return duration
 
@@ -175,13 +302,14 @@ class Channel:
     def notify(self, nbytes: int, kind: str = "notification") -> float:
         """Server→client push (sync notifications, status updates)."""
         hdr, acks = self.link.wire_cost(nbytes)
-        now = self.sim.now
-        self.meter.record(now, Direction.DOWN, 0, nbytes + hdr, kind=kind)
+        start = self.effective_now()
+        self.meter.record(start, Direction.DOWN, 0, nbytes + hdr, kind=kind)
         if acks:
-            self.meter.record(now, Direction.UP, 0, acks, kind=kind)
+            self.meter.record(start, Direction.UP, 0, acks, kind=kind)
         duration = self.link.transfer_time(nbytes + hdr, upstream=False) \
             + self.link.round_trip_time(0.5)
-        self._touch(now + duration)
+        self._busy_until = start + duration
+        self._touch(start + duration)
         return duration
 
     def drop_connection(self) -> None:

@@ -120,6 +120,47 @@ def test_scan_interval_idle_file_syncs_immediately():
     assert policy.eligible_at(state) == 100.0
 
 
+def test_scan_interval_rejects_degenerate_interval():
+    """interval == 0 silently degenerates to NoDefer; it must fail loudly."""
+    with pytest.raises(ValueError):
+        ScanIntervalDefer(0)
+    with pytest.raises(ValueError):
+        ScanIntervalDefer(-1.0)
+
+
+def test_scan_interval_out_of_order_clock():
+    """last_sync ahead of first_pending: the next scan still wins.
+
+    Virtual clocks can legitimately report a sync *after* an update became
+    pending (the sync transaction that drained an earlier batch finished
+    while this batch was queueing); the cadence must be counted from the
+    later of the two, not from the pending time.
+    """
+    policy = ScanIntervalDefer(7.0)
+    state = policy.new_state()
+    policy.on_sync(state, 10.0)       # previous batch drained at t=10
+    policy.on_update(state, 3.0, 1)   # update reported with an earlier stamp
+    assert state.first_pending == 3.0
+    assert policy.eligible_at(state) == pytest.approx(17.0)
+
+
+def test_defer_policies_out_of_order_on_sync():
+    """on_sync with a clock behind last_update must not corrupt state."""
+    for policy in (NoDefer(), FixedDefer(4.0), AdaptiveSyncDefer(),
+                   ScanIntervalDefer(7.0), ByteCounterDefer()):
+        state = policy.new_state()
+        policy.on_update(state, 10.0, 100)
+        policy.on_sync(state, 5.0)  # sync reported *before* the update time
+        assert state.pending_bytes == 0
+        assert state.update_count == 0
+        assert math.isinf(state.first_pending)
+        assert state.last_sync == 5.0
+        # A fresh update after the odd sync behaves normally again.
+        policy.on_update(state, 20.0, 50)
+        assert policy.eligible_at(state) >= 20.0 or isinstance(policy, NoDefer)
+        assert state.first_pending == 20.0
+
+
 def test_byte_counter_flushes_at_threshold():
     policy = ByteCounterDefer(threshold_bytes=4096, flush_timeout=10.0)
     state = policy.new_state()

@@ -32,6 +32,34 @@ def test_retransmit_scales_with_loss():
         wire * 0.02 / 0.98, rel=0.01)
 
 
+def test_retransmit_nonzero_for_single_packet():
+    """Regression: int() truncation used to zero out sub-packet overheads.
+
+    A 1-packet exchange on a lossy link must still charge at least one
+    retransmitted byte — rounding the expected value down to zero made
+    every small exchange (polls, notifications, keep-alives) loss-free,
+    underestimating chatty-protocol traffic on bad links.
+    """
+    from repro.simnet.link import MSS
+    lossy = Link(mn_link().with_loss(0.02))
+    single = MSS  # exactly one packet on the wire
+    assert lossy.retransmit_overhead(single) >= 1
+    # Tiny payloads are still one packet.
+    assert lossy.retransmit_overhead(1) >= 1
+    # And the ceiling never rounds a true zero up: lossless stays zero.
+    assert Link(mn_link()).retransmit_overhead(single) == 0
+
+
+def test_retransmit_loss_rate_override():
+    """A burst-window loss rate can override the link's base rate."""
+    link = Link(mn_link().with_loss(0.01))
+    wire = 1_000_000
+    base = link.retransmit_overhead(wire)
+    boosted = link.retransmit_overhead(wire, loss_rate=0.25)
+    assert boosted > base
+    assert boosted == pytest.approx(wire * 0.25 / 0.75, rel=0.01)
+
+
 def test_recovery_rtts_capped():
     link = Link(mn_link().with_loss(0.2))
     assert link.recovery_rtts(100 * MB) == 8.0

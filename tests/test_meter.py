@@ -75,3 +75,43 @@ def test_record_total_property():
     meter = TrafficMeter()
     record = meter.record(0.0, Direction.UP, payload=3, overhead=4)
     assert record.total == 7
+
+
+def test_wasted_bytes_are_a_decomposition():
+    """Wasted bytes label a subset of payload+overhead, never add to it."""
+    meter = TrafficMeter()
+    meter.record(0.0, Direction.UP, payload=100, overhead=20, wasted=30)
+    meter.record(1.0, Direction.DOWN, payload=0, overhead=50, wasted=50)
+    assert meter.total_bytes == 170          # wasted does not inflate totals
+    assert meter.wasted_bytes == 80
+    assert meter.useful_bytes == 90
+    assert meter.up.wasted == 30
+    assert meter.down.useful == 0
+
+
+def test_wasted_cannot_exceed_record_total():
+    meter = TrafficMeter()
+    with pytest.raises(ValueError):
+        meter.record(0.0, Direction.UP, payload=10, overhead=5, wasted=16)
+    with pytest.raises(ValueError):
+        meter.record(0.0, Direction.UP, payload=10, wasted=-1)
+
+
+def test_snapshot_diff_carries_wasted():
+    meter = TrafficMeter()
+    meter.record(0.0, Direction.UP, payload=10, overhead=2, wasted=4)
+    snap = meter.snapshot()
+    meter.record(1.0, Direction.UP, payload=7, overhead=3, wasted=10)
+    meter.record(1.0, Direction.DOWN, payload=0, overhead=6, wasted=6)
+    delta = meter.since(snap)
+    assert delta.up_wasted == 10
+    assert delta.down_wasted == 6
+    assert delta.wasted == 16
+    assert delta.useful == delta.total - delta.wasted
+
+
+def test_reset_clears_wasted():
+    meter = TrafficMeter()
+    meter.record(0.0, Direction.UP, payload=10, overhead=2, wasted=4)
+    meter.reset()
+    assert meter.wasted_bytes == 0

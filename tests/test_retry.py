@@ -1,0 +1,158 @@
+"""Tests for the client retry policy and its engine integration."""
+
+import pytest
+
+from repro.client import (
+    AccessMethod,
+    RetriesExhausted,
+    RetryPolicy,
+    RetryState,
+    SyncSession,
+)
+from repro.simnet import FaultEpisode, FaultKind, FaultSchedule
+from repro.units import KB, MB
+
+
+# -- policy -----------------------------------------------------------------
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_backoff=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_backoff=0.1, base_backoff=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_budget=0)
+
+
+def test_describe_names_the_recovery_design():
+    assert "resumable" in RetryPolicy(resumable=True).describe()
+    assert "restart" in RetryPolicy(resumable=False).describe()
+
+
+def test_backoff_sequence_is_seeded_and_reproducible():
+    a = RetryPolicy(seed=3).make_state()
+    b = RetryPolicy(seed=3).make_state()
+    seq_a = [a.backoff(i) for i in range(1, 6)]
+    seq_b = [b.backoff(i) for i in range(1, 6)]
+    assert seq_a == seq_b
+    c = RetryPolicy(seed=4).make_state()
+    assert [c.backoff(i) for i in range(1, 6)] != seq_a
+
+
+def test_backoff_grows_exponentially_within_jitter():
+    policy = RetryPolicy(base_backoff=1.0, backoff_factor=2.0, jitter=0.1,
+                         max_backoff=1000.0)
+    state = policy.make_state()
+    for attempt in range(1, 8):
+        raw = 2.0 ** (attempt - 1)
+        delay = state.backoff(attempt)
+        assert raw * 0.9 <= delay <= raw * 1.1
+
+
+def test_backoff_capped_at_max():
+    policy = RetryPolicy(base_backoff=1.0, backoff_factor=10.0,
+                         max_backoff=5.0, jitter=0.0)
+    state = policy.make_state()
+    assert state.backoff(1) == 1.0
+    assert state.backoff(4) == 5.0  # 1000 capped to 5
+
+
+def test_budget_resets_per_transaction_but_rng_does_not():
+    policy = RetryPolicy(base_backoff=10.0, backoff_factor=1.0,
+                         backoff_budget=25.0, jitter=0.0)
+    state = policy.make_state()
+    state.backoff(1)
+    state.backoff(1)
+    assert not state.budget_exhausted()
+    state.backoff(1)
+    assert state.budget_exhausted()
+    state.begin_transaction()
+    assert not state.budget_exhausted()
+    assert state.total_retries == 3  # lifetime counter survives the reset
+
+
+def test_backoff_attempts_are_one_based():
+    with pytest.raises(ValueError):
+        RetryPolicy().make_state().backoff(0)
+
+
+# -- engine integration -----------------------------------------------------
+
+def _blackout_at_start():
+    """One blackout covering the first sync transaction's start."""
+    return FaultSchedule([
+        FaultEpisode(start=0.0, duration=3.0, kind=FaultKind.BLACKOUT)])
+
+
+def test_client_with_retry_rides_out_a_blackout():
+    session = SyncSession("Dropbox", AccessMethod.PC,
+                          retry=RetryPolicy(seed=1),
+                          faults=_blackout_at_start())
+    session.create_random_file("f.bin", 64 * KB, seed=2)
+    session.run_until_idle()
+    stats = session.client.stats
+    assert stats.failed_syncs == 0
+    assert stats.transient_errors > 0
+    assert stats.retries > 0
+    assert session.wasted_traffic > 0
+    # The file made it to the cloud despite the outage.
+    assert session.server.download("user1", "f.bin") is not None
+
+
+def test_client_without_retry_abandons_the_sync():
+    session = SyncSession("Dropbox", AccessMethod.PC,
+                          faults=_blackout_at_start())
+    session.create_random_file("f.bin", 64 * KB, seed=2)
+    session.run_until_idle()
+    stats = session.client.stats
+    assert stats.failed_syncs == 1
+    assert session.client.failures  # (time, message) recorded
+    assert session.wasted_traffic > 0
+
+
+def test_exhausted_retries_surface_as_failed_sync():
+    # Back-to-back blackouts outlast a single-attempt policy.
+    schedule = FaultSchedule([
+        FaultEpisode(start=0.0, duration=30.0, kind=FaultKind.BLACKOUT)])
+    session = SyncSession("Dropbox", AccessMethod.PC,
+                          retry=RetryPolicy(max_attempts=1, seed=1),
+                          faults=schedule)
+    session.create_random_file("f.bin", 64 * KB, seed=2)
+    session.run_until_idle()
+    stats = session.client.stats
+    assert stats.retry_giveups >= 1
+    assert stats.failed_syncs == 1
+
+
+def test_retry_recovers_from_server_brownout():
+    schedule = FaultSchedule([
+        FaultEpisode(start=0.0, duration=4.0,
+                     kind=FaultKind.SERVER_UNAVAILABLE)])
+    session = SyncSession("Dropbox", AccessMethod.PC,
+                          retry=RetryPolicy(seed=1), faults=schedule)
+    session.create_random_file("f.bin", 64 * KB, seed=3)
+    session.run_until_idle()
+    stats = session.client.stats
+    assert stats.failed_syncs == 0
+    assert stats.transient_errors >= 1
+    assert session.server.stats.requests_rejected >= 1
+    # Rejected request framing is metered as wasted traffic.
+    assert session.wasted_traffic > 0
+
+
+def test_retry_policy_invisible_on_healthy_network():
+    plain = SyncSession("Dropbox", AccessMethod.PC)
+    with_retry = SyncSession("Dropbox", AccessMethod.PC,
+                             retry=RetryPolicy(seed=1))
+    for session in (plain, with_retry):
+        session.create_random_file("f.bin", 1 * MB, seed=4)
+        session.run_until_idle()
+    assert with_retry.total_traffic == plain.total_traffic
+    assert with_retry.wasted_traffic == 0
+    assert with_retry.client.stats.transient_errors == 0
