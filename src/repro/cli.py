@@ -192,11 +192,20 @@ def cmd_upgrades(args) -> int:
 
 
 def cmd_overuse(args) -> int:
-    from .trace import generate_trace, replay_trace, traffic_overuse_fraction
+    from .trace import (generate_trace, replay_trace, replay_trace_parallel,
+                        traffic_overuse_fraction)
     trace = generate_trace(scale=args.scale, seed=args.seed)
     rows = []
     for service in SERVICES:
-        report = replay_trace(trace, service_profile(service, args.access))
+        profile = service_profile(service, args.access)
+        # The replay RNG must see the CLI seed, or every run silently
+        # replays at seed=0 regardless of --seed.
+        if args.workers > 1:
+            report = replay_trace_parallel(trace, profile,
+                                           workers=args.workers,
+                                           seed=args.seed)
+        else:
+            report = replay_trace(trace, profile, seed=args.seed)
         rows.append([service,
                      f"{traffic_overuse_fraction(report):.1%}"])
     print(render_table(
@@ -212,7 +221,8 @@ def cmd_replay(args) -> int:
         [report.service, fmt_size(report.traffic_bytes), f"{report.tue:.2f}",
          fmt_size(report.saved_by_compression), fmt_size(report.saved_by_dedup),
          fmt_size(report.saved_by_bds), fmt_size(report.saved_by_ids)]
-        for report in replay_all(trace, access=args.access)
+        for report in replay_all(trace, access=args.access, seed=args.seed,
+                                 workers=args.workers)
     ]
     print(render_table(
         ["Service", "Traffic", "TUE", "Δcompress", "Δdedup", "Δbds", "Δids"],
@@ -268,7 +278,8 @@ def build_parser() -> argparse.ArgumentParser:
     add("replay", cmd_replay,
         **{"--scale": dict(type=float, default=0.05),
            "--seed": dict(type=int, default=42),
-           "--access": dict(type=_access, default=AccessMethod.PC)})
+           "--access": dict(type=_access, default=AccessMethod.PC),
+           "--workers": dict(type=int, default=1)})
     add("findings", cmd_findings,
         **{"--scale": dict(type=float, default=0.1)})
     add("upgrades", cmd_upgrades,
@@ -276,7 +287,8 @@ def build_parser() -> argparse.ArgumentParser:
     add("overuse", cmd_overuse,
         **{"--scale": dict(type=float, default=0.03),
            "--seed": dict(type=int, default=42),
-           "--access": dict(type=_access, default=AccessMethod.PC)})
+           "--access": dict(type=_access, default=AccessMethod.PC),
+           "--workers": dict(type=int, default=1)})
     return parser
 
 

@@ -265,8 +265,7 @@ class SyncClient:
 
         # Renames carry server-side move semantics the combined BDS commit
         # does not express; sync them individually first.
-        renames = [c for c in uploads
-                   if c.renamed_from is not None and c.renamed_from in self._shadow]
+        renames = [c for c in uploads if self._is_pure_rename(c)]
         uploads = [c for c in uploads if c not in renames]
         for change in renames:
             duration += self._sync_one(change)
@@ -400,6 +399,15 @@ class SyncClient:
 
     # -- single-file sync --------------------------------------------------------
 
+    def _is_pure_rename(self, change: PendingChange) -> bool:
+        """True when the change ships as a server-side move: its source is
+        synced and the old path no longer exists locally.  A recreated
+        source means the move would tombstone the new file, so the change
+        must upload as content instead."""
+        return (change.renamed_from is not None
+                and change.renamed_from in self._shadow
+                and not self.folder.exists(change.renamed_from))
+
     def _sync_one(self, change: PendingChange, lightweight: bool = False,
                   in_batch: bool = False) -> float:
         """Sync one path's pending state; returns wall-clock duration.
@@ -417,7 +425,7 @@ class SyncClient:
         profile = self.profile
         overhead = profile.overhead
 
-        if change.renamed_from is not None and change.renamed_from in self._shadow:
+        if self._is_pure_rename(change):
             # Metadata-only move: no content crosses the wire (§4.2's
             # attribute-change pattern applies to renames as well).
             duration = self._guarded_exchange(
@@ -617,7 +625,7 @@ class SyncClient:
         """Fake deletion: a tiny attribute-change exchange (§4.2)."""
         if change.path in self._shadow:
             target = change.path
-        elif change.renamed_from is not None and change.renamed_from in self._shadow:
+        elif self._is_pure_rename(change):
             # Renamed and then deleted before the rename ever synced: the
             # cloud still knows the file under its old name.
             target = change.renamed_from

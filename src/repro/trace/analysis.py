@@ -23,6 +23,13 @@ from .schema import BLOCK_GRANULARITIES, Trace
 
 SMALL_FILE_THRESHOLD = 100 * KB
 
+#: Creation-batch window (seconds): two small files of one user created
+#: within this window count as batchable (§4.1).  Shared by the trace
+#: analysis below and the replay estimator's BDS eligibility test — the
+#: two MUST agree, or the estimator silently drifts from the statistic it
+#: is calibrated against.
+BDS_BATCH_WINDOW = 5.0
+
 
 # ---------------------------------------------------------------------------
 # Figure 2: size distributions
@@ -102,7 +109,7 @@ def small_file_fraction(trace: Trace, threshold: int = SMALL_FILE_THRESHOLD,
 
 def batchable_small_fraction(trace: Trace,
                              threshold: int = SMALL_FILE_THRESHOLD,
-                             window: float = 5.0) -> float:
+                             window: float = BDS_BATCH_WINDOW) -> float:
     """Fraction of small files that arrive in creation batches (§4.1's 66 %).
 
     A small file is batchable when the same user created another small file

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -113,8 +113,59 @@ class _SegmentFactory:
         return ids
 
 
+@dataclass(frozen=True)
+class _PoolEntry:
+    """Content identity of a prior original, kept for duplicate sampling.
+
+    Holding full :class:`FileRecord` objects in the pool would pin every
+    original of the whole trace in memory; the duplicate/near-duplicate
+    draw only needs these four fields, which is what makes
+    :func:`iter_trace_shards` memory-bounded at large scales.
+    """
+
+    size: int
+    compressed_size: int
+    segments: np.ndarray
+    content_id: int
+
+
 def _unit_count(size: int) -> int:
     return max(1, -(-size // UNIT_SIZE))
+
+
+def _service_records(service: str, n_users: int, n_files: int,
+                     rng: np.random.Generator, segments: _SegmentFactory,
+                     pool: List[_PoolEntry],
+                     file_counter: "itertools.count") -> Iterator[FileRecord]:
+    """Yield one service's records in creation order.
+
+    This is the single code path behind both :func:`generate_trace` and
+    :func:`iter_trace_shards`: both consume the identical RNG stream, so
+    they produce identical records at the same seed.
+    """
+    users = [f"{service.lower()}-user{idx:03d}" for idx in range(n_users)]
+    # Zipf-ish activity: a few heavy users own most files (observed in
+    # every storage-trace study the paper builds on).
+    weights = 1.0 / np.arange(1, n_users + 1) ** 0.7
+    weights /= weights.sum()
+    files_left = n_files
+    while files_left > 0:
+        user = users[int(rng.choice(n_users, p=weights))]
+        if rng.random() < _P_SOLO_CREATE:
+            burst = 1
+        else:
+            burst = int(rng.integers(2, _BURST_MAX + 1))
+        burst = min(burst, files_left)
+        start = float(rng.random() * TRACE_SPAN)
+        offset = 0.0
+        for _ in range(burst):
+            offset += float(rng.uniform(*_BURST_SPACING))
+            yield _make_record(
+                rng, segments, pool, service, user,
+                created_at=start + offset,
+                index=next(file_counter),
+            )
+        files_left -= burst
 
 
 def generate_trace(scale: float = 1.0, seed: int = 42,
@@ -129,35 +180,51 @@ def generate_trace(scale: float = 1.0, seed: int = 42,
     segments = _SegmentFactory()
     trace = Trace()
     #: Global pool of prior originals for duplicate/near-duplicate sampling.
-    pool: List[FileRecord] = []
+    pool: List[_PoolEntry] = []
     file_counter = itertools.count()
 
     for service, (n_users, n_files) in sorted(config.service_plan().items()):
-        users = [f"{service.lower()}-user{idx:03d}" for idx in range(n_users)]
-        # Zipf-ish activity: a few heavy users own most files (observed in
-        # every storage-trace study the paper builds on).
-        weights = 1.0 / np.arange(1, n_users + 1) ** 0.7
-        weights /= weights.sum()
-        files_left = n_files
-        while files_left > 0:
-            user = users[int(rng.choice(n_users, p=weights))]
-            if rng.random() < _P_SOLO_CREATE:
-                burst = 1
-            else:
-                burst = int(rng.integers(2, _BURST_MAX + 1))
-            burst = min(burst, files_left)
-            start = float(rng.random() * TRACE_SPAN)
-            offset = 0.0
-            for _ in range(burst):
-                offset += float(rng.uniform(*_BURST_SPACING))
-                record = _make_record(
-                    rng, segments, pool, service, user,
-                    created_at=start + offset,
-                    index=next(file_counter),
-                )
-                trace.records.append(record)
-            files_left -= burst
+        trace.records.extend(_service_records(
+            service, n_users, n_files, rng, segments, pool, file_counter))
     return trace
+
+
+def iter_trace_shards(scale: float = 1.0, seed: int = 42,
+                      shard_users: int = 8,
+                      config: Optional[GeneratorConfig] = None) -> Iterator[Trace]:
+    """Stream the statistical twin trace as per-user-group shards.
+
+    Yields :class:`Trace` shards whose records are *identical* to
+    ``generate_trace(scale, seed)`` at the same seed (validated in
+    tests/test_replay_parallel.py): every user's files land in exactly one
+    shard, each shard covers at most ``shard_users`` consecutive users of
+    one service, and records keep their generation order within a shard.
+
+    Memory stays bounded by one service's records plus the lightweight
+    duplicate-sampling pool, instead of the whole trace — the difference
+    between fitting a ``scale=50`` (~11M file) replay in RAM or not.
+    """
+    if shard_users < 1:
+        raise ValueError("shard_users must be >= 1")
+    config = config or GeneratorConfig(scale=scale, seed=seed)
+    rng = np.random.default_rng(config.seed)
+    segments = _SegmentFactory()
+    pool: List[_PoolEntry] = []
+    file_counter = itertools.count()
+
+    for service, (n_users, n_files) in sorted(config.service_plan().items()):
+        user_names = [f"{service.lower()}-user{idx:03d}"
+                      for idx in range(n_users)]
+        group_of = {user: idx // shard_users
+                    for idx, user in enumerate(user_names)}
+        n_groups = -(-n_users // shard_users)
+        buckets: List[List[FileRecord]] = [[] for _ in range(n_groups)]
+        for record in _service_records(service, n_users, n_files, rng,
+                                       segments, pool, file_counter):
+            buckets[group_of[record.user]].append(record)
+        for records in buckets:
+            if records:
+                yield Trace(records=records)
 
 
 def _draw_size(rng: np.random.Generator) -> int:
@@ -177,10 +244,10 @@ def _draw_ratio(rng: np.random.Generator, size: int) -> float:
 
 
 def _make_record(rng: np.random.Generator, segments: _SegmentFactory,
-                 pool: List[FileRecord], service: str, user: str,
+                 pool: List[_PoolEntry], service: str, user: str,
                  created_at: float, index: int) -> FileRecord:
-    duplicate_of: Optional[FileRecord] = None
-    near_source: Optional[FileRecord] = None
+    duplicate_of: Optional[_PoolEntry] = None
+    near_source: Optional[_PoolEntry] = None
     roll = rng.random()
     if pool and roll < _P_DUPLICATE:
         candidate = pool[int(rng.integers(len(pool)))]
@@ -217,7 +284,12 @@ def _make_record(rng: np.random.Generator, segments: _SegmentFactory,
     modified_at = created_at
     if rng.random() < _P_MODIFIED:
         modify_count = 1 + int(rng.geometric(0.35))
-        modified_at = created_at + float(rng.exponential(14 * 24 * 3600.0))
+        # Clamp to the collection window (§3.1): nothing is observed
+        # modified after Mar 2014.  Late-window creations keep
+        # modified_at == created_at rather than running past the span.
+        modified_at = min(created_at + float(rng.exponential(14 * 24 * 3600.0)),
+                          TRACE_SPAN)
+        modified_at = max(modified_at, created_at)
 
     compressible = compressed / max(size, 1) < 0.9
     extensions = (_EXTENSIONS_COMPRESSIBLE if compressible
@@ -232,5 +304,6 @@ def _make_record(rng: np.random.Generator, segments: _SegmentFactory,
         segments=segment_ids, content_id=content_id,
     )
     if duplicate_of is None:
-        pool.append(record)
+        pool.append(_PoolEntry(size=size, compressed_size=compressed,
+                               segments=segment_ids, content_id=content_id))
     return record

@@ -12,10 +12,28 @@ each mechanism (compression, dedup, BDS, IDS) saves.
 The estimator is validated against the micro engine in
 tests/test_replay.py: for small synthetic traces the two agree on every
 qualitative ordering and within tens of percent on totals.
+
+Scaling: :func:`replay_trace_parallel` shards the replay across processes
+by user and is **byte-identical** to :func:`replay_trace` at any worker
+count.  Three properties make that possible (see DESIGN.md, "Parallel
+replay & determinism contract"):
+
+* every record's modification RNG is its own stream keyed by
+  ``(seed, profile, global record index)`` — no draw-order coupling
+  between records;
+* BDS batch eligibility and ``SAME_USER`` dedup only couple records of
+  one user, and sharding is by user;
+* ``CROSS_USER`` dedup couples records globally, so shards emit per-unit
+  first-occurrence *candidates* keyed by global record index, and a merge
+  pass resolves true first occurrences and re-credits ``saved_by_dedup``
+  exactly (two-phase protocol).
 """
 
 from __future__ import annotations
 
+import bisect
+import multiprocessing
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -24,7 +42,7 @@ from ..client import AccessMethod, ServiceProfile, service_profile
 from ..client.profiles import BdsMode
 from ..cloud.dedup import DedupGranularity, DedupScope
 from ..compress import CompressionLevel
-from .analysis import SMALL_FILE_THRESHOLD
+from .analysis import BDS_BATCH_WINDOW, SMALL_FILE_THRESHOLD
 from .schema import FileRecord, Trace
 
 #: Fraction of a file's *achievable* compression each level realises
@@ -43,6 +61,19 @@ _LEVEL_SAVING_FRACTION = {
 #: everything).
 _MOD_FRACTION_LOG_MU = -3.9   # exp(-3.9) ≈ 0.02
 _MOD_FRACTION_LOG_SIGMA = 1.0
+
+#: Counter fields summed exactly by :meth:`ReplayReport.merge`.
+_MERGE_COUNTERS = (
+    "file_count", "upload_events", "data_update_bytes", "traffic_bytes",
+    "overhead_bytes", "saved_by_compression", "saved_by_dedup",
+    "saved_by_bds", "saved_by_ids",
+)
+
+#: Per-user dict fields merged by key-wise addition.
+_MERGE_DICTS = (
+    "per_user_traffic", "per_user_modification_traffic",
+    "per_user_modification_update",
+)
 
 
 @dataclass
@@ -75,6 +106,35 @@ class ReplayReport:
         return (self.saved_by_compression + self.saved_by_dedup
                 + self.saved_by_bds + self.saved_by_ids)
 
+    @classmethod
+    def merge(cls, reports: Sequence["ReplayReport"]) -> "ReplayReport":
+        """Exact sum of shard reports: all counters and per-user dicts.
+
+        Every field is additive, so merging is associative and
+        order-insensitive up to dict insertion order (the parallel replay
+        canonicalises that separately).  Raises on an empty sequence or on
+        reports for different profiles — a merged report must mean one
+        (service, access) pair.
+        """
+        if not reports:
+            raise ValueError("cannot merge zero reports")
+        first = reports[0]
+        for other in reports[1:]:
+            if (other.service, other.access) != (first.service, first.access):
+                raise ValueError(
+                    f"cannot merge reports for different profiles: "
+                    f"{first.service}/{first.access} vs "
+                    f"{other.service}/{other.access}")
+        merged = cls(service=first.service, access=first.access)
+        for report in reports:
+            for name in _MERGE_COUNTERS:
+                setattr(merged, name, getattr(merged, name) + getattr(report, name))
+            for name in _MERGE_DICTS:
+                target = getattr(merged, name)
+                for user, value in getattr(report, name).items():
+                    target[user] = target.get(user, 0) + value
+        return merged
+
 
 def _fixed_overhead(profile: ServiceProfile) -> int:
     """Per-sync fixed overhead implied by the profile's cost parameters.
@@ -105,10 +165,9 @@ def _wire_payload(profile: ServiceProfile, size: int, compressed: int) -> int:
 
 def _in_creation_batch(record: FileRecord,
                        batch_windows: Dict[Tuple[str, str], List[float]],
-                       window: float = 5.0) -> bool:
+                       window: float = BDS_BATCH_WINDOW) -> bool:
     times = batch_windows.get((record.service, record.user), [])
     # times is sorted; record.created_at is in it.  Neighbour within window?
-    import bisect
     index = bisect.bisect_left(times, record.created_at)
     before = index > 0 and record.created_at - times[index - 1] <= window
     after = (index + 1 < len(times)
@@ -116,18 +175,58 @@ def _in_creation_batch(record: FileRecord,
     return before or after
 
 
-def replay_trace(trace: Trace, profile: ServiceProfile,
-                 seed: int = 0) -> ReplayReport:
-    """Estimate the trace-wide sync traffic under one service profile."""
-    rng = random.Random(f"replay:{seed}:{profile.name}")
+def _mod_fractions(seed: int, profile_name: str, index: int,
+                   count: int) -> List[float]:
+    """Modification fractions for one record: an independent RNG stream.
+
+    Keyed by (seed, profile, global record index) so any shard can
+    reproduce exactly the draws the sequential replay makes for this
+    record — the determinism contract that makes parallel == sequential.
+    """
+    rng = random.Random(f"replay:{seed}:{profile_name}:{index}")
+    return [min(1.0, rng.lognormvariate(_MOD_FRACTION_LOG_MU,
+                                        _MOD_FRACTION_LOG_SIGMA))
+            for _ in range(count)]
+
+
+@dataclass
+class _DedupCandidates:
+    """Phase-1 output for one record under CROSS_USER dedup.
+
+    ``units`` are this record's locally-first-seen units; each may lose to
+    an earlier occurrence (smaller global index) in another shard, in which
+    case phase 2 re-credits the difference to ``saved_by_dedup``.
+    """
+
+    index: int                       # global record index in the trace
+    user: str
+    wire: int                        # compressed creation wire, pre-dedup
+    total_len: int                   # `or 1`-guarded unit length sum
+    units: List[Tuple[bytes, int]]   # (unit key, unit length)
+
+
+def _replay_records(shard: Sequence[Tuple[int, FileRecord]],
+                    profile: ServiceProfile, seed: int,
+                    collect_candidates: bool,
+                    ) -> Tuple[ReplayReport, List[_DedupCandidates]]:
+    """Replay one shard of (global index, record) pairs.
+
+    The single code path behind both the sequential and the parallel
+    replay: :func:`replay_trace` calls it once with the whole trace (where
+    the local dedup state *is* the global state), shards call it with
+    per-user partitions.  ``collect_candidates`` turns on the phase-1 side
+    of the CROSS_USER two-phase protocol.
+    """
     report = ReplayReport(service=profile.service,
                           access=profile.access.value)
     fixed = _fixed_overhead(profile)
     bds = profile.bds
 
-    # Precompute creation-time neighbourhoods for BDS eligibility.
+    # Precompute creation-time neighbourhoods for BDS eligibility.  All of
+    # a user's records live in this shard, so the neighbourhoods equal the
+    # sequential ones.
     small_times: Dict[Tuple[str, str], List[float]] = {}
-    for record in trace:
+    for _, record in shard:
         if record.size < SMALL_FILE_THRESHOLD:
             small_times.setdefault((record.service, record.user), []).append(
                 record.created_at)
@@ -136,8 +235,9 @@ def replay_trace(trace: Trace, profile: ServiceProfile,
 
     dedup = profile.dedup
     seen_units: Set = set()
+    candidates: List[_DedupCandidates] = []
 
-    for record in trace:
+    for index, record in shard:
         report.file_count += 1
         # ---- creation upload ------------------------------------------------
         report.data_update_bytes += record.size
@@ -147,6 +247,7 @@ def replay_trace(trace: Trace, profile: ServiceProfile,
 
         if dedup.enabled:
             shipped = 0
+            fresh_units: List[Tuple[bytes, int]] = []
             if dedup.granularity is DedupGranularity.FULL_FILE:
                 keys = [(record.full_file_key(), record.size)]
             else:
@@ -160,8 +261,14 @@ def replay_trace(trace: Trace, profile: ServiceProfile,
                     continue
                 seen_units.add(scope_key)
                 shipped += length
+                if collect_candidates:
+                    fresh_units.append((key, length))
             deduped_wire = int(wire * shipped / total_len)
             report.saved_by_dedup += wire - deduped_wire
+            if collect_candidates and fresh_units:
+                candidates.append(_DedupCandidates(
+                    index=index, user=record.user, wire=wire,
+                    total_len=total_len, units=fresh_units))
             wire = deduped_wire
 
         overhead = fixed
@@ -178,10 +285,12 @@ def replay_trace(trace: Trace, profile: ServiceProfile,
             report.per_user_traffic.get(record.user, 0) + wire + overhead
 
         # ---- modifications ---------------------------------------------------
-        for _ in range(record.modify_count):
-            fraction = min(
-                1.0, rng.lognormvariate(_MOD_FRACTION_LOG_MU,
-                                        _MOD_FRACTION_LOG_SIGMA))
+        if record.modify_count:
+            fractions = _mod_fractions(seed, profile.name, index,
+                                       record.modify_count)
+        else:
+            fractions = []
+        for fraction in fractions:
             altered = max(1, int(record.size * fraction))
             report.data_update_bytes += altered
             full_wire = _wire_payload(profile, record.size,
@@ -209,6 +318,167 @@ def replay_trace(trace: Trace, profile: ServiceProfile,
                 report.per_user_modification_update.get(record.user, 0) \
                 + altered
 
+    return report, candidates
+
+
+def replay_trace(trace: Trace, profile: ServiceProfile,
+                 seed: int = 0) -> ReplayReport:
+    """Estimate the trace-wide sync traffic under one service profile."""
+    report, _ = _replay_records(list(enumerate(trace)), profile, seed,
+                                collect_candidates=False)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Parallel sharded replay
+# ---------------------------------------------------------------------------
+
+def _shard_by_user(trace: Trace,
+                   shard_count: int) -> List[List[Tuple[int, FileRecord]]]:
+    """Partition (index, record) pairs into user-disjoint, balanced shards.
+
+    Users are assigned greedily (heaviest first, ties by first appearance)
+    to the least-loaded shard — deterministic, so shard contents depend
+    only on the trace and ``shard_count``.
+    """
+    counts = trace.user_file_counts()
+    # Stable sort: equal counts keep first-appearance order.
+    ordered = sorted(counts.items(), key=lambda item: -item[1])
+    loads = [0] * shard_count
+    assignment: Dict[str, int] = {}
+    for user, count in ordered:
+        target = min(range(shard_count), key=lambda idx: loads[idx])
+        assignment[user] = target
+        loads[target] += count
+    shards: List[List[Tuple[int, FileRecord]]] = [[] for _ in range(shard_count)]
+    for index, record in enumerate(trace):
+        shards[assignment[record.user]].append((index, record))
+    return [shard for shard in shards if shard]
+
+
+def _resolve_cross_user(report: ReplayReport,
+                        shard_candidates: Sequence[List[_DedupCandidates]],
+                        ) -> None:
+    """Phase 2 of the CROSS_USER protocol: settle true first occurrences.
+
+    A unit's true first occurrence is its candidate with the smallest
+    global record index.  Every losing candidate record gets its creation
+    wire recomputed with the losers removed — using the *same* integer
+    expression as phase 1, so the merged report equals the sequential one
+    bit for bit.
+    """
+    winners: Dict[bytes, int] = {}
+    for entries in shard_candidates:
+        for entry in entries:
+            for key, _length in entry.units:
+                current = winners.get(key)
+                if current is None or entry.index < current:
+                    winners[key] = entry.index
+    for entries in shard_candidates:
+        for entry in entries:
+            shipped = sum(length for _, length in entry.units)
+            kept = sum(length for key, length in entry.units
+                       if winners[key] == entry.index)
+            if kept == shipped:
+                continue
+            old_wire = int(entry.wire * shipped / entry.total_len)
+            new_wire = int(entry.wire * kept / entry.total_len)
+            delta = old_wire - new_wire
+            report.traffic_bytes -= delta
+            report.saved_by_dedup += delta
+            report.per_user_traffic[entry.user] -= delta
+
+
+def _restore_user_order(report: ReplayReport, trace: Trace) -> None:
+    """Reorder per-user dicts to sequential insertion order.
+
+    Sequential replay inserts users on first record (traffic) and on first
+    modified record (modification dicts); the merged dicts carry shard
+    order instead.  Rebuilding them makes the parallel report byte-identical
+    to the sequential one — same ``repr``, same JSON — not merely equal.
+    """
+    creation_order: List[str] = []
+    modification_order: List[str] = []
+    seen_any: Set[str] = set()
+    seen_modified: Set[str] = set()
+    for record in trace:
+        if record.user not in seen_any:
+            seen_any.add(record.user)
+            creation_order.append(record.user)
+        if record.modify_count > 0 and record.user not in seen_modified:
+            seen_modified.add(record.user)
+            modification_order.append(record.user)
+    report.per_user_traffic = {
+        user: report.per_user_traffic[user]
+        for user in creation_order if user in report.per_user_traffic}
+    report.per_user_modification_traffic = {
+        user: report.per_user_modification_traffic[user]
+        for user in modification_order
+        if user in report.per_user_modification_traffic}
+    report.per_user_modification_update = {
+        user: report.per_user_modification_update[user]
+        for user in modification_order
+        if user in report.per_user_modification_update}
+
+
+#: Fork-inherited state for pool workers: (shards, profile, seed, collect).
+#: Set only for the duration of the Pool.map call; fork children see a
+#: copy-on-write snapshot, so nothing is pickled per task but the shard
+#: index.  (Service profiles carry lambdas and cannot cross a spawn
+#: boundary, which is why the pool requires the fork start method.)
+_FORK_STATE: Optional[tuple] = None
+
+
+def _replay_shard_worker(shard_index: int):
+    shards, profile, seed, collect = _FORK_STATE
+    return _replay_records(shards[shard_index], profile, seed, collect)
+
+
+def replay_trace_parallel(trace: Trace, profile: ServiceProfile,
+                          workers: Optional[int] = None,
+                          seed: int = 0) -> ReplayReport:
+    """Sharded, multi-process replay; byte-identical to :func:`replay_trace`.
+
+    Records are sharded by user (exact for SAME_USER dedup and BDS batch
+    windows); CROSS_USER dedup is settled by the two-phase candidate/merge
+    protocol.  ``workers=None`` uses the CPU count; ``workers=1`` runs the
+    shard pipeline in-process (useful for testing the merge path without
+    process overhead).  On platforms without the ``fork`` start method the
+    shards also run in-process — same results, no speedup.
+    """
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    workers = workers or os.cpu_count() or 1
+    collect = (profile.dedup.enabled
+               and profile.dedup.scope is DedupScope.CROSS_USER)
+    shards = _shard_by_user(trace, workers)
+    if not shards:
+        return ReplayReport(service=profile.service,
+                            access=profile.access.value)
+
+    results = None
+    if workers > 1 and len(shards) > 1:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = None
+        if context is not None:
+            global _FORK_STATE
+            _FORK_STATE = (shards, profile, seed, collect)
+            try:
+                with context.Pool(processes=min(workers, len(shards))) as pool:
+                    results = pool.map(_replay_shard_worker,
+                                       range(len(shards)))
+            finally:
+                _FORK_STATE = None
+    if results is None:
+        results = [_replay_records(shard, profile, seed, collect)
+                   for shard in shards]
+
+    report = ReplayReport.merge([shard_report for shard_report, _ in results])
+    if collect:
+        _resolve_cross_user(report, [entries for _, entries in results])
+    _restore_user_order(report, trace)
     return report
 
 
@@ -248,11 +518,17 @@ def traffic_overuse_fraction(report: ReplayReport,
 def replay_all(trace: Trace,
                services: Optional[Sequence[str]] = None,
                access: AccessMethod = AccessMethod.PC,
-               seed: int = 0) -> List[ReplayReport]:
+               seed: int = 0,
+               workers: int = 1) -> List[ReplayReport]:
     """Replay the trace under every service, sorted by estimated traffic."""
     from ..client import SERVICES
     names = services or SERVICES
-    reports = [replay_trace(trace, service_profile(name, access), seed=seed)
-               for name in names]
+    if workers > 1:
+        reports = [replay_trace_parallel(trace, service_profile(name, access),
+                                         workers=workers, seed=seed)
+                   for name in names]
+    else:
+        reports = [replay_trace(trace, service_profile(name, access), seed=seed)
+                   for name in names]
     reports.sort(key=lambda report: report.traffic_bytes)
     return reports

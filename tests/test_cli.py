@@ -66,6 +66,38 @@ def test_replay(capsys):
     assert "Macro replay" in out and "Dropbox" in out
 
 
+def test_replay_seed_reaches_the_replay_rng(capsys):
+    """Regression: --seed used to reach generate_trace but not replay_trace,
+    so the modification-fraction RNG always ran at seed=0.  Same-seed runs
+    must be identical; different-seed runs must differ (same trace seed, so
+    any difference can only come from the replay RNG)."""
+    first = run(capsys, "replay", "--scale", "0.005", "--seed", "1")
+    again = run(capsys, "replay", "--scale", "0.005", "--seed", "1")
+    other = run(capsys, "replay", "--scale", "0.005", "--seed", "2")
+    assert first == again
+    assert first != other
+
+
+def test_replay_workers_matches_sequential(capsys):
+    sequential = run(capsys, "replay", "--scale", "0.005", "--seed", "3")
+    parallel = run(capsys, "replay", "--scale", "0.005", "--seed", "3",
+                   "--workers", "2")
+    assert parallel == sequential
+
+
+def test_overuse_seed_reaches_the_replay_rng(capsys):
+    first = run(capsys, "overuse", "--scale", "0.01", "--seed", "1")
+    other = run(capsys, "overuse", "--scale", "0.01", "--seed", "2")
+    assert first != other
+
+
+def test_overuse_workers_matches_sequential(capsys):
+    sequential = run(capsys, "overuse", "--scale", "0.01", "--seed", "4")
+    parallel = run(capsys, "overuse", "--scale", "0.01", "--seed", "4",
+                   "--workers", "2")
+    assert parallel == sequential
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])

@@ -209,6 +209,25 @@ def test_cross_user_dedup_only_when_scoped():
     assert bob.total_traffic > 512 * KB
 
 
+def test_rename_after_source_recreated_keeps_both_files():
+    """Regression: a deferred rename whose *source* path was recreated
+    locally used to ship as a metadata-only server move, tombstoning the
+    recreated file.  Sequence (distilled from a failing random op run):
+    create a → rename a→b → let b sync → rename b→c → recreate b → write c.
+    Both b and c must survive on the cloud."""
+    session = session_for("UbuntuOne", AccessMethod.PC)
+    session.create_file("a.bin", random_content(0, seed=1))
+    session.folder.rename("a.bin", "b.bin")
+    session.advance(3.5)  # long enough for b.bin to reach the server
+    session.folder.rename("b.bin", "c.bin")
+    session.create_file("b.bin", random_content(0, seed=2))
+    session.write_file("c.bin", random_content(1, seed=3))
+    session.run_until_idle()
+    for path in ("b.bin", "c.bin"):
+        assert session.server.download("user1", path) == \
+            session.folder.get(path).data, path
+
+
 def test_download_restores_content_and_meters_down():
     session = session_for("Dropbox")
     content = random_content(256 * KB, seed=3)

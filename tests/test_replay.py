@@ -99,3 +99,54 @@ def test_empty_trace():
     report = replay_trace(Trace(), service_profile("Box", AccessMethod.PC))
     assert report.traffic_bytes == 0
     assert report.file_count == 0
+
+
+def _zero_size_record(user, index, segment_base=None):
+    base = index * 10 if segment_base is None else segment_base
+    return FileRecord(
+        user=user, service="X", path=f"{user}/empty{index}.txt",
+        size=0, compressed_size=0, created_at=float(index * 1000),
+        modified_at=float(index * 1000), modify_count=0,
+        segments=np.arange(base, base + 1, dtype=np.int64),
+        content_id=index,
+    )
+
+
+@pytest.mark.parametrize("service", ["Dropbox", "UbuntuOne"])
+def test_zero_size_files_under_both_dedup_granularities(service):
+    """Zero-byte files hit the `total_len or 1` guard: no division by zero,
+    no wire bytes, and — crucially — no phantom dedup savings (Dropbox is
+    block-granularity, UbuntuOne full-file, so both code paths run).
+    Records 0 and 1 share content identity, so the duplicate-hit path runs
+    too — a duplicate of nothing must still save nothing."""
+    trace = Trace(records=[_zero_size_record("u", 0, segment_base=0),
+                           _zero_size_record("u", 1, segment_base=0),
+                           _zero_size_record("v", 2)])
+    profile = service_profile(service, AccessMethod.PC)
+    assert profile.dedup.enabled
+    report = replay_trace(trace, profile)
+    assert report.file_count == 3
+    assert report.saved_by_dedup == 0
+    assert report.saved_by_compression == 0
+    # Traffic is pure per-sync overhead; every upload still happened.
+    assert report.traffic_bytes == report.overhead_bytes > 0
+    assert report.upload_events == 3
+
+
+def test_single_record_trace_is_never_batchable():
+    """With one record there is no creation neighbour, so the BDS batch
+    test must return False and the file pays the full fixed overhead."""
+    from repro.trace.replay import _in_creation_batch, _fixed_overhead
+    record = FileRecord(
+        user="solo", service="X", path="solo/one.txt",
+        size=4 * KB, compressed_size=2 * KB, created_at=100.0,
+        modified_at=100.0, modify_count=0,
+        segments=np.arange(1, dtype=np.int64), content_id=0,
+    )
+    windows = {("X", "solo"): [record.created_at]}
+    assert _in_creation_batch(record, windows) is False
+
+    profile = service_profile("Dropbox", AccessMethod.PC)  # BDS: FULL
+    report = replay_trace(Trace(records=[record]), profile)
+    assert report.saved_by_bds == 0
+    assert report.overhead_bytes == _fixed_overhead(profile)
