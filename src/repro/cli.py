@@ -9,6 +9,11 @@ Usage::
     python -m repro probe-defer GoogleDrive  # infer the sync deferment
     python -m repro trace --scale 0.1 --out trace.zip
     python -m repro replay --scale 0.1       # macro traffic estimate
+    python -m repro audit exp8 --fault-rate 0.5   # run w/ conservation audit
+    python -m repro trace-run exp1 --out spans.jsonl   # export the span trace
+
+(`trace` generates the statistical-twin workload trace; `trace-run` records
+the wire-level *span* trace of an experiment — see EXPERIMENTS.md.)
 """
 
 from __future__ import annotations
@@ -43,6 +48,8 @@ def cmd_list(_args) -> int:
         ["findings", "verify every Table 5 finding live"],
         ["upgrades", "savings from retrofitting each recommendation"],
         ["overuse", "per-user traffic-overuse statistic ([36])"],
+        ["audit", "run an experiment under the byte-conservation auditor"],
+        ["trace-run", "record an experiment's wire-level span trace (JSONL)"],
     ]
     print(render_table(["Command", "Reproduces"], rows))
     return 0
@@ -231,6 +238,107 @@ def cmd_replay(args) -> int:
     return 0
 
 
+#: Small-but-representative targets for traced/audited runs: each exercises
+#: a different slice of the wire model (experiments 1–8 and the parallel
+#: trace replay) while staying fast enough for CI.
+OBS_TARGETS = ("exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7",
+               "exp8", "replay", "all")
+
+
+def _obs_run_target(args, target: str) -> str:
+    """Run one audit/trace target; returns a short human description."""
+    service = args.service
+    access = args.access
+    if target == "all":
+        for name in OBS_TARGETS[:-1]:
+            _obs_run_target(args, name)
+        return "experiments 1-8 + parallel replay"
+    if target == "exp1":
+        from .core import measure_creation
+        for size in (1, 1 * KB, 1 * MB):
+            measure_creation(service, access, size)
+        return f"experiment 1 (creation, {service})"
+    if target == "exp2":
+        from .core import experiment2_deletion
+        experiment2_deletion(services=(service,), access_methods=(access,),
+                             sizes=(1 * KB, 1 * MB))
+        return f"experiment 2 (deletion, {service})"
+    if target == "exp3":
+        from .core import measure_modification
+        measure_modification(service, access, 64 * KB)
+        return f"experiment 3 (modification, {service})"
+    if target == "exp4":
+        from .core import measure_compression
+        measure_compression(service, access, size=1 * MB)
+        return f"experiment 4 (compression, {service})"
+    if target == "exp5":
+        from .core.algorithm1 import _paired_sessions, iterative_self_duplication
+        session, _ = _paired_sessions(service, access)
+        iterative_self_duplication(session, max_block=2 * MB)
+        return f"experiment 5 (dedup probe, {service})"
+    if target == "exp6":
+        from .core import experiment6_frequent_mods
+        experiment6_frequent_mods(service, xs=(1.0, 2.0, 4.0), total=64 * KB)
+        return f"experiment 6 (frequent modifications, {service})"
+    if target == "exp7":
+        from .core import run_appending
+        from .simnet import bj_link
+        run_appending(service, 1.0, total=64 * KB, access=access,
+                      link_spec=bj_link())
+        return f"experiment 7 (BJ vantage appending, {service})"
+    if target == "exp8":
+        from .core import run_faulty_sync
+        run_faulty_sync(service, fault_rate=args.fault_rate, resumable=False,
+                        file_count=2, file_size=512 * KB, unit_size=128 * KB)
+        return (f"experiment 8 (faults at rate {args.fault_rate:g}, "
+                f"{service})")
+    if target == "replay":
+        from .obs import audit_replay_report
+        from .trace import generate_trace, replay_trace_parallel
+        trace = generate_trace(scale=args.scale, seed=args.seed)
+        profile = service_profile(service, access)
+        report = replay_trace_parallel(trace, profile, workers=args.workers,
+                                       seed=args.seed)
+        audit_replay_report(report)
+        return (f"parallel replay (scale {args.scale:g}, "
+                f"{args.workers} worker(s), {service})")
+    raise ValueError(f"unknown target {target!r}")
+
+
+def _cmd_observed(args, audit: bool) -> int:
+    """Shared body of `repro audit` and `repro trace-run`."""
+    from .obs import AuditViolation, TraceHub, audit_hub, recording
+    from .reporting import render_phase_breakdown
+
+    hub = TraceHub()
+    out = getattr(args, "out", None)
+    try:
+        with recording(hub=hub, jsonl=out):
+            description = _obs_run_target(args, args.target)
+        if audit:
+            audit_hub(hub)
+    except AuditViolation as violation:
+        print(f"AUDIT FAILED: {violation}")
+        return 1
+    if hub.recorders:
+        print(render_phase_breakdown(
+            hub, title=f"Per-phase breakdown — {description}"))
+    if out:
+        print(f"span trace written to {out}")
+    if audit:
+        print(f"conservation audit passed: {hub.span_count} spans across "
+              f"{len(hub.recorders)} session(s), 0 violations")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    return _cmd_observed(args, audit=True)
+
+
+def cmd_trace_run(args) -> int:
+    return _cmd_observed(args, audit=args.audit)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -289,6 +397,20 @@ def build_parser() -> argparse.ArgumentParser:
            "--seed": dict(type=int, default=42),
            "--access": dict(type=_access, default=AccessMethod.PC),
            "--workers": dict(type=int, default=1)})
+    observed = {
+        "target": dict(choices=OBS_TARGETS),
+        "--service": dict(default="Dropbox"),
+        "--access": dict(type=_access, default=AccessMethod.PC),
+        "--fault-rate": dict(type=float, default=0.5, dest="fault_rate"),
+        "--scale": dict(type=float, default=0.005),
+        "--seed": dict(type=int, default=42),
+        "--workers": dict(type=int, default=2),
+    }
+    add("audit", cmd_audit,
+        **dict(observed, **{"--trace": dict(default=None, dest="out")}))
+    add("trace-run", cmd_trace_run,
+        **dict(observed, **{"--out": dict(required=True),
+                            "--audit": dict(action="store_true")}))
     return parser
 
 

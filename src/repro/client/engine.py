@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..chunking import chunk_data
 from ..cloud import CloudServer, NotFound, QuotaExceeded, TransientError
@@ -41,6 +41,9 @@ from .defer import DeferPolicy, DeferState
 from .hardware import M1, MachineProfile
 from .profiles import BdsMode, ServiceProfile
 from .retry import RetriesExhausted, RetryPolicy, RetryState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..obs.recorder import TraceRecorder
 
 #: Negotiation wire cost per fingerprint (hex digest + framing).
 _NEG_UP_PER_UNIT = 40
@@ -113,6 +116,7 @@ class SyncClient:
         user: str = "user",
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultInjector] = None,
+        recorder: Optional["TraceRecorder"] = None,
     ):
         if link is None:
             raise ValueError("a Link is required (use simnet.mn_link()/bj_link())")
@@ -124,8 +128,9 @@ class SyncClient:
         self.link = link
         self.meter = meter or TrafficMeter()
         self.user = user
+        self.recorder = recorder
         self.channel = Channel(sim, link, self.meter, profile.protocol,
-                               faults=faults)
+                               faults=faults, recorder=recorder)
         self.retry = retry
         self._retry_state: Optional[RetryState] = (
             retry.make_state() if retry is not None else None)
@@ -233,6 +238,7 @@ class SyncClient:
             self.stats.failed_syncs += 1
             self.failures.append((self.sim.now, str(error)))
             duration = 0.1
+            self._note_abandoned(now, duration, error)
         except (RetriesExhausted, TransientError, TransferInterrupted) as error:
             # A transient failure the client could not (or would not) ride
             # out: the sync transaction is abandoned and recorded.  Whatever
@@ -240,7 +246,15 @@ class SyncClient:
             self.stats.failed_syncs += 1
             self.failures.append((self.sim.now, str(error)))
             duration = max(getattr(error, "elapsed", 0.0), 0.1)
+            self._note_abandoned(now, duration, error)
         self.sim.schedule(duration, self._sync_done)
+
+    def _note_abandoned(self, start: float, duration: float,
+                        error: Exception) -> None:
+        if self.recorder is not None:
+            self.recorder.record_span(
+                "sync-transaction", "abandoned", "client",
+                start, start + duration, error=str(error))
 
     def _sync_done(self) -> None:
         self._uploading = False
@@ -296,6 +310,20 @@ class SyncClient:
             start=start, end=start + duration, paths=[c.path for c in changes],
             up_payload=delta.up_payload, total_bytes=delta.total,
             ops_batched=sum(c.ops for c in changes)))
+        if self.recorder is not None:
+            policy = self.defer_policy.describe()
+            for change in changes:
+                # The defer window: from the change's first event to the
+                # moment its batch started syncing.
+                self.recorder.record_span(
+                    "defer-window", policy, "client",
+                    min(change.first_time, start), start,
+                    path=change.path, ops=change.ops,
+                    update_bytes=change.update_bytes)
+            self.recorder.record_span(
+                "sync-transaction", "sync", "client", start, start + duration,
+                delta=delta, paths=[c.path for c in changes],
+                ops=sum(c.ops for c in changes))
         return duration
 
     # -- resilient transfers ---------------------------------------------------
@@ -341,12 +369,22 @@ class SyncClient:
         assert state is not None and self.retry is not None
         if attempt >= self.retry.max_attempts or state.budget_exhausted():
             self.stats.retry_giveups += 1
+            if self.recorder is not None:
+                at = self.channel.effective_now()
+                self.recorder.record_span(
+                    "retry-attempt", "give-up", "client", at, at,
+                    attempt=attempt, error=str(error))
             raise RetriesExhausted(
                 f"gave up after {attempt} attempt(s): {error}") from error
         wait = state.backoff(attempt)
         retry_at = getattr(error, "retry_at", None)
         if retry_at is not None:
             wait = max(wait, retry_at - self.channel.effective_now())
+        if self.recorder is not None:
+            at = self.channel.effective_now()
+            self.recorder.record_span(
+                "retry-attempt", type(error).__name__, "client",
+                at, at + wait, attempt=attempt, wait=wait, error=str(error))
         self.channel.wait(wait)
         self.stats.retries += 1
         return elapsed + wait

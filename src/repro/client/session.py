@@ -15,6 +15,7 @@ from typing import Optional, Union
 from ..cloud import CloudServer
 from ..content import Content, random_content, text_content
 from ..fsim import SyncFolder
+from ..obs.recorder import TraceRecorder, session_recorder
 from ..simnet import (
     FaultInjector,
     FaultSchedule,
@@ -45,6 +46,7 @@ class SyncSession:
         user: str = "user1",
         retry: Optional[RetryPolicy] = None,
         faults: Optional[Union[FaultInjector, FaultSchedule]] = None,
+        recorder: Optional[TraceRecorder] = None,
     ):
         if isinstance(profile, str):
             profile = service_profile(profile, access)
@@ -64,10 +66,20 @@ class SyncSession:
             self.server.attach_faults(faults)
         self.folder = SyncFolder(self.sim)
         self.meter = TrafficMeter()
+        # Tracing is opt-in: explicit recorder, else the ambient hub
+        # installed by ``obs.recording()``; None means not recording and
+        # costs one ``is None`` check per wire event downstream.
+        if recorder is None:
+            recorder = session_recorder(f"{profile.name}/{user}")
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.bind_meter(self.meter)
+            self.server.attach_recorder(recorder)
         self.client = SyncClient(
             sim=self.sim, folder=self.folder, server=self.server,
             profile=profile, machine=machine, link=self.link,
             meter=self.meter, user=user, retry=retry, faults=faults,
+            recorder=recorder,
         )
         self._update_bytes = 0
         self.folder.subscribe(self._track_update)
@@ -153,3 +165,22 @@ class SyncSession:
         """Zero the traffic meter (e.g. between UP and DN phases)."""
         self.meter.reset()
         self._update_bytes = 0
+        if self.recorder is not None:
+            # Close the accounting epoch: spans recorded so far are no
+            # longer reflected in the meter totals.
+            self.recorder.note_reset(self.sim.now)
+
+    def audit(self) -> None:
+        """Run the conservation audit over this session's trace.
+
+        Raises :class:`~repro.obs.AuditViolation` on the first broken
+        invariant; requires the session to have been created with a
+        recorder (explicit or ambient via ``obs.recording()``).
+        """
+        from ..obs import ConservationAuditor  # local: obs is optional here
+
+        if self.recorder is None:
+            raise ValueError(
+                "session has no recorder — construct it inside "
+                "obs.recording() or pass recorder= explicitly")
+        ConservationAuditor().audit(self.recorder)

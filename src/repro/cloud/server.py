@@ -70,6 +70,12 @@ class CloudServer:
         #: its SERVER_UNAVAILABLE / RATE_LIMIT windows the front door answers
         #: every request with a transient error instead of serving it.
         self.faults = None
+        #: Optional trace recorder (duck-typed; see :mod:`repro.obs`).
+        #: Server events are logical (dedup hits, brownout rejections) and
+        #: carry no meter delta — the client side owns the wire.  With
+        #: several sessions against one cloud, the last attached recorder
+        #: wins; that only re-homes these zero-byte events.
+        self.recorder = None
 
     def set_time(self, now: float) -> None:
         self.now = now
@@ -80,6 +86,10 @@ class CloudServer:
     def attach_faults(self, injector) -> None:
         """Subject this server to a fault injector's brownout windows."""
         self.faults = injector
+
+    def attach_recorder(self, recorder) -> None:
+        """Emit dedup-hit / fault-episode trace events to ``recorder``."""
+        self.recorder = recorder
 
     def check_available(self, now: Optional[float] = None) -> None:
         """Raise the transient error matching any brownout active at ``now``.
@@ -96,6 +106,10 @@ class CloudServer:
             return
         self.faults.note_server_fault(episode)
         self.stats.requests_rejected += 1
+        if self.recorder is not None:
+            self.recorder.record_span(
+                "fault-episode", episode.kind.value, f"server:{self.name}",
+                time, episode.end, rejected=True)
         if episode.kind is FaultKind.RATE_LIMIT:
             raise RateLimited(
                 f"{self.name}: request budget exhausted until t={episode.end:.3f}s",
@@ -117,6 +131,11 @@ class CloudServer:
         for digest in digests:
             if self.dedup.lookup(user, digest) is None:
                 missing.append(digest)
+        hits = len(digests) - len(missing)
+        if hits and self.recorder is not None:
+            self.recorder.record_span(
+                "dedup-hit", "negotiate", f"server:{self.name}",
+                self.now, self.now, units=len(digests), hits=hits, user=user)
         return missing
 
     def resolve(self, user: str, digest: str) -> Optional[str]:
@@ -134,6 +153,10 @@ class CloudServer:
         if existing is not None:
             # Client raced a duplicate past negotiation; don't store twice.
             self.stats.dedup_bytes_saved += len(data)
+            if self.recorder is not None:
+                self.recorder.record_span(
+                    "dedup-hit", "upload-race", f"server:{self.name}",
+                    self.now, self.now, units=1, hits=1, user=user)
             return existing
         key = self.chunks.store(data)
         self.dedup.register(user, digest, key)

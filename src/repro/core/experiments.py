@@ -52,7 +52,15 @@ class CreationCell:
 
     @property
     def tue(self) -> float:
-        return self.traffic / max(self.size, 1)
+        """TUE (Eq. 1): sync traffic over data update size.
+
+        A zero-byte creation has no data update to amortise against, so its
+        TUE is infinite by convention — the old ``max(size, 1)`` guard
+        silently reported TUE == traffic, as if one byte had been written.
+        """
+        if self.size == 0:
+            return float("inf")
+        return self.traffic / self.size
 
 
 @dataclass
@@ -201,7 +209,11 @@ class ModificationCell:
 
     @property
     def tue(self) -> float:
-        """TUE against the 1-byte data update."""
+        """TUE against the 1-byte data update; infinite for an (impossible
+        to modify, but constructible) zero-size cell, matching
+        :class:`CreationCell`."""
+        if self.size == 0:
+            return float("inf")
         return float(self.traffic)
 
 

@@ -1,0 +1,77 @@
+"""Observability: wire-level event tracing and byte-conservation auditing.
+
+The paper's methodology rests on trusting a packet capture — every TUE,
+overhead-split, and deferment number is a Wireshark ledger read at the
+client's NIC.  Our :class:`~repro.simnet.meter.TrafficMeter` plays that
+role, and this package is the instrument that makes it trustworthy:
+
+* :class:`TraceRecorder` — a ledger of typed spans (connect, exchange,
+  retry-attempt, defer-window, dedup-hit, fault-episode, sync-transaction)
+  emitted by the channel, the client engine, and the cloud server, each
+  carrying start/end sim-time and the meter delta it produced;
+* :class:`ConservationAuditor` — replays a recorder and asserts the
+  invariants that make the meter a faithful capture (span deltas sum to
+  meter totals, wire bytes match the packetisation model, wasted is a
+  decomposition, clocks are monotone), raising structured
+  :class:`AuditViolation` errors that name the offending span;
+* :func:`recording` — an ambient :class:`TraceHub` context so every
+  experiment (1–8) and CLI command can run traced/audited without any
+  signature changes, at near-zero overhead when disabled (a single
+  ``is None`` check per wire event).
+"""
+
+from .audit import (
+    AuditViolation,
+    ConservationAuditor,
+    audit_hub,
+    audit_replay_report,
+    verify_replay_merge,
+    verify_replay_report,
+)
+from .recorder import (
+    CONNECT,
+    DEDUP_HIT,
+    DEFER_WINDOW,
+    EXCHANGE,
+    FAULT_EPISODE,
+    METER_RESET,
+    RETRY_ATTEMPT,
+    SPAN_KINDS,
+    SYNC_TRANSACTION,
+    WIRE_KINDS,
+    PhaseStat,
+    Span,
+    TraceHub,
+    TraceRecorder,
+    current_hub,
+    load_jsonl,
+    recording,
+    session_recorder,
+)
+
+__all__ = [
+    "AuditViolation",
+    "CONNECT",
+    "ConservationAuditor",
+    "DEDUP_HIT",
+    "DEFER_WINDOW",
+    "EXCHANGE",
+    "FAULT_EPISODE",
+    "METER_RESET",
+    "PhaseStat",
+    "RETRY_ATTEMPT",
+    "SPAN_KINDS",
+    "SYNC_TRANSACTION",
+    "Span",
+    "TraceHub",
+    "TraceRecorder",
+    "WIRE_KINDS",
+    "audit_hub",
+    "audit_replay_report",
+    "current_hub",
+    "load_jsonl",
+    "recording",
+    "session_recorder",
+    "verify_replay_merge",
+    "verify_replay_report",
+]

@@ -1,0 +1,396 @@
+"""Byte-conservation auditing over a recorded trace.
+
+The auditor replays a :class:`~repro.obs.recorder.TraceRecorder` and
+asserts the invariants that make the :class:`~repro.simnet.meter.TrafficMeter`
+a trustworthy stand-in for the paper's Wireshark capture:
+
+``span-sanity``
+    Every span has ``end >= start``; every wire span carries a
+    non-negative meter delta with ``wasted <= total`` per direction.
+``monotone-clock``
+    Wire spans from one channel start in non-decreasing sim-time order —
+    a channel cannot put bytes on the wire in the past.
+``wire-packetisation``
+    For every wire span, the meter delta equals the packetisation model
+    recomputed from the span's own inputs: forward bytes are
+    ``wire + per-packet headers + retransmissions`` and the reverse
+    direction carries the ACK stream, exactly as
+    :meth:`repro.simnet.link.Link.wire_cost` defines them.
+``sum-conservation``
+    The wire spans of the final accounting epoch (after the last meter
+    reset) sum — field by field, including record count — to the meter's
+    live totals.  Every metered byte is explained by exactly one span.
+``kind-conservation``
+    Per-kind payload/overhead/wasted totals sum to the meter-wide
+    counters and respect ``wasted <= total`` within each kind.
+``replay-conservation`` (:func:`verify_replay_report`)
+    A :class:`~repro.trace.replay.ReplayReport`'s per-user counters sum
+    to its merged totals and every decomposition stays within bounds;
+    :func:`verify_replay_merge` checks shard reports add up to a merged
+    report counter by counter.
+
+Violations are reported as structured :class:`AuditViolation` errors
+naming the invariant and the offending span.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..simnet.link import Link
+from .recorder import Span, TraceHub, TraceRecorder
+
+
+class AuditViolation(Exception):
+    """A broken conservation invariant, pinned to the span that broke it."""
+
+    def __init__(self, invariant: str, message: str,
+                 span: Optional[Span] = None,
+                 session: Optional[str] = None):
+        self.invariant = invariant
+        self.span = span
+        self.session = session
+        where = f" at {span.describe()}" if span is not None else ""
+        who = f" (session {session})" if session else ""
+        super().__init__(f"[{invariant}]{who} {message}{where}")
+
+
+class ConservationAuditor:
+    """Replays a recorder's span ledger and checks every invariant."""
+
+    def verify(self, recorder: TraceRecorder) -> List[AuditViolation]:
+        """All violations in ``recorder``, empty when the trace is clean."""
+        violations: List[AuditViolation] = []
+        violations.extend(self._check_span_sanity(recorder))
+        violations.extend(self._check_monotone_clocks(recorder))
+        violations.extend(self._check_wire_math(recorder))
+        violations.extend(self._check_sum_conservation(recorder))
+        violations.extend(self._check_kind_conservation(recorder))
+        return violations
+
+    def audit(self, recorder: TraceRecorder) -> None:
+        """Raise the first violation found, if any."""
+        violations = self.verify(recorder)
+        if violations:
+            raise violations[0]
+
+    # -- invariants -------------------------------------------------------
+
+    def _check_span_sanity(self, recorder: TraceRecorder) -> List[AuditViolation]:
+        out: List[AuditViolation] = []
+        for span in recorder.spans:
+            if span.end < span.start:
+                out.append(AuditViolation(
+                    "span-sanity", f"end {span.end:.3f} precedes start "
+                    f"{span.start:.3f}", span, recorder.label))
+            if not span.wire:
+                continue
+            delta = span.delta
+            if delta is None:
+                out.append(AuditViolation(
+                    "span-sanity", "wire span carries no meter delta",
+                    span, recorder.label))
+                continue
+            for name in ("up_payload", "up_overhead", "up_wasted",
+                         "down_payload", "down_overhead", "down_wasted",
+                         "record_count"):
+                if getattr(delta, name) < 0:
+                    out.append(AuditViolation(
+                        "span-sanity", f"negative delta field {name}",
+                        span, recorder.label))
+            if delta.up_wasted > delta.up_total:
+                out.append(AuditViolation(
+                    "span-sanity",
+                    f"up wasted {delta.up_wasted} exceeds up total "
+                    f"{delta.up_total}", span, recorder.label))
+            if delta.down_wasted > delta.down_total:
+                out.append(AuditViolation(
+                    "span-sanity",
+                    f"down wasted {delta.down_wasted} exceeds down total "
+                    f"{delta.down_total}", span, recorder.label))
+        return out
+
+    def _check_monotone_clocks(self, recorder: TraceRecorder) -> List[AuditViolation]:
+        out: List[AuditViolation] = []
+        last_start: dict = {}
+        for span in recorder.spans:
+            if not span.wire:
+                continue
+            previous = last_start.get(span.source)
+            if previous is not None and span.start < previous:
+                out.append(AuditViolation(
+                    "monotone-clock",
+                    f"wire span starts at {span.start:.3f}, before the "
+                    f"previous {span.source} span at {previous:.3f}",
+                    span, recorder.label))
+            last_start[span.source] = span.start
+        return out
+
+    def _check_wire_math(self, recorder: TraceRecorder) -> List[AuditViolation]:
+        out: List[AuditViolation] = []
+        for span in recorder.spans:
+            if not span.wire or span.delta is None:
+                continue
+            violation = self._recompute_span(span, recorder.label)
+            if violation is not None:
+                out.append(violation)
+        return out
+
+    def _recompute_span(self, span: Span,
+                        session: str) -> Optional[AuditViolation]:
+        """Recompute the packetisation arithmetic from the span's inputs and
+        compare it with the meter delta the span actually produced."""
+        attrs = span.attrs
+        delta = span.delta
+        assert delta is not None
+        op = attrs.get("op")
+        if op is None:
+            return AuditViolation(
+                "wire-packetisation", "wire span has no op attribute",
+                span, session)
+
+        def mismatch(what: str, expected: int, got: int) -> AuditViolation:
+            return AuditViolation(
+                "wire-packetisation",
+                f"{what}: model says {expected}, meter recorded {got}",
+                span, session)
+
+        if op == "handshake":
+            expected_up = attrs.get("up_bytes")
+            expected_down = attrs.get("down_bytes")
+            if delta.up_total != expected_up:
+                return mismatch("handshake up bytes", expected_up,
+                                delta.up_total)
+            if delta.down_total != expected_down:
+                return mismatch("handshake down bytes", expected_down,
+                                delta.down_total)
+            if delta.payload != 0 or delta.wasted != 0:
+                return mismatch("handshake payload/wasted", 0,
+                                delta.payload + delta.wasted)
+            return None
+
+        if op in ("exchange", "rejected"):
+            up_wire = attrs.get("up_wire", 0)
+            down_wire = attrs.get("down_wire", 0)
+            up_retx = attrs.get("up_retx", 0)
+            down_retx = attrs.get("down_retx", 0)
+            up_hdr, up_acks = Link.wire_cost(up_wire)
+            down_hdr, down_acks = Link.wire_cost(down_wire)
+            expected_up = up_wire + up_hdr + down_acks + up_retx
+            expected_down = down_wire + down_hdr + up_acks + down_retx
+            if delta.up_total != expected_up:
+                return mismatch("up wire bytes", expected_up, delta.up_total)
+            if delta.down_total != expected_down:
+                return mismatch("down wire bytes", expected_down,
+                                delta.down_total)
+            if op == "exchange":
+                if delta.up_payload != attrs.get("up_payload", 0):
+                    return mismatch("up payload", attrs.get("up_payload", 0),
+                                    delta.up_payload)
+                if delta.down_payload != attrs.get("down_payload", 0):
+                    return mismatch("down payload",
+                                    attrs.get("down_payload", 0),
+                                    delta.down_payload)
+                if delta.up_wasted != up_retx:
+                    return mismatch("up wasted (retransmissions)", up_retx,
+                                    delta.up_wasted)
+                if delta.down_wasted != down_retx:
+                    return mismatch("down wasted (retransmissions)",
+                                    down_retx, delta.down_wasted)
+            else:  # rejected: fully wasted, no payload
+                if delta.payload != 0:
+                    return mismatch("rejected payload", 0, delta.payload)
+                if delta.up_wasted != delta.up_total:
+                    return mismatch("rejected up wasted", delta.up_total,
+                                    delta.up_wasted)
+                if delta.down_wasted != delta.down_total:
+                    return mismatch("rejected down wasted", delta.down_total,
+                                    delta.down_wasted)
+            return None
+
+        if op == "restart":
+            wire_bytes = attrs.get("wire_bytes", 0)
+            hdr, acks = Link.wire_cost(wire_bytes)
+            if delta.up_total != wire_bytes + hdr:
+                return mismatch("restart up bytes", wire_bytes + hdr,
+                                delta.up_total)
+            if delta.down_total != acks:
+                return mismatch("restart ack bytes", acks, delta.down_total)
+            if delta.up_wasted != delta.up_total \
+                    or delta.down_wasted != delta.down_total:
+                return mismatch("restart wasted", delta.total, delta.wasted)
+            if delta.payload != 0:
+                return mismatch("restart payload", 0, delta.payload)
+            return None
+
+        if op == "aborted":
+            sent_up = attrs.get("sent_up", 0)
+            sent_down = attrs.get("sent_down", 0)
+            if delta.up_total != sent_up:
+                return mismatch("aborted up bytes", sent_up, delta.up_total)
+            if delta.down_total != sent_down:
+                return mismatch("aborted down bytes", sent_down,
+                                delta.down_total)
+            if delta.wasted != delta.total:
+                return mismatch("aborted wasted", delta.total, delta.wasted)
+            if delta.payload != 0:
+                return mismatch("aborted payload", 0, delta.payload)
+            return None
+
+        if op == "notification":
+            nbytes = attrs.get("nbytes", 0)
+            hdr, acks = Link.wire_cost(nbytes)
+            if delta.down_total != nbytes + hdr:
+                return mismatch("notification down bytes", nbytes + hdr,
+                                delta.down_total)
+            if delta.up_total != acks:
+                return mismatch("notification ack bytes", acks,
+                                delta.up_total)
+            if delta.payload != 0 or delta.wasted != 0:
+                return mismatch("notification payload/wasted", 0,
+                                delta.payload + delta.wasted)
+            return None
+
+        return AuditViolation(
+            "wire-packetisation", f"unknown wire op {op!r}", span, session)
+
+    def _check_sum_conservation(self, recorder: TraceRecorder) -> List[AuditViolation]:
+        totals = recorder.final_totals()
+        if totals is None:
+            return []
+        out: List[AuditViolation] = []
+        fields = ("up_payload", "up_overhead", "up_wasted", "down_payload",
+                  "down_overhead", "down_wasted", "record_count")
+        sums = {name: 0 for name in fields}
+        for span in recorder.final_epoch_wire_spans():
+            if span.delta is None:
+                continue  # reported by span-sanity
+            for name in fields:
+                sums[name] += getattr(span.delta, name)
+        for name in fields:
+            if sums[name] != getattr(totals, name):
+                out.append(AuditViolation(
+                    "sum-conservation",
+                    f"wire spans sum to {name}={sums[name]} but the meter "
+                    f"holds {getattr(totals, name)} — some traffic is "
+                    f"unexplained by spans (or double-counted)",
+                    session=recorder.label))
+        if totals.up_wasted > totals.up_total:
+            out.append(AuditViolation(
+                "sum-conservation", "meter up wasted exceeds up total",
+                session=recorder.label))
+        if totals.down_wasted > totals.down_total:
+            out.append(AuditViolation(
+                "sum-conservation", "meter down wasted exceeds down total",
+                session=recorder.label))
+        return out
+
+    def _check_kind_conservation(self, recorder: TraceRecorder) -> List[AuditViolation]:
+        meter = recorder.meter
+        if meter is None:
+            return []
+        out: List[AuditViolation] = []
+        kinds = meter.totals_by_kind()
+        payload = sum(t.payload for t in kinds.values())
+        overhead = sum(t.overhead for t in kinds.values())
+        wasted = sum(t.wasted for t in kinds.values())
+        if payload != meter.payload_bytes:
+            out.append(AuditViolation(
+                "kind-conservation",
+                f"per-kind payload sums to {payload}, meter holds "
+                f"{meter.payload_bytes}", session=recorder.label))
+        if overhead != meter.overhead_bytes:
+            out.append(AuditViolation(
+                "kind-conservation",
+                f"per-kind overhead sums to {overhead}, meter holds "
+                f"{meter.overhead_bytes}", session=recorder.label))
+        if wasted != meter.wasted_bytes:
+            out.append(AuditViolation(
+                "kind-conservation",
+                f"per-kind wasted sums to {wasted}, meter holds "
+                f"{meter.wasted_bytes}", session=recorder.label))
+        for kind, totals in kinds.items():
+            if totals.wasted > totals.total:
+                out.append(AuditViolation(
+                    "kind-conservation",
+                    f"kind {kind!r} wasted {totals.wasted} exceeds its "
+                    f"total {totals.total}", session=recorder.label))
+        return out
+
+
+def audit_hub(hub: TraceHub) -> None:
+    """Audit every recorder in ``hub``; raise the first violation found."""
+    auditor = ConservationAuditor()
+    for recorder in hub.recorders:
+        auditor.audit(recorder)
+
+
+# -- replay-report conservation -------------------------------------------
+
+def verify_replay_report(report: Any) -> List[AuditViolation]:
+    """Conservation checks over a (possibly merged) ReplayReport."""
+    out: List[AuditViolation] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            out.append(AuditViolation("replay-conservation", message,
+                                      session=report.service))
+
+    for name in ("traffic_bytes", "data_update_bytes", "overhead_bytes",
+                 "saved_by_compression", "saved_by_dedup", "saved_by_bds",
+                 "saved_by_ids", "file_count", "upload_events"):
+        check(getattr(report, name) >= 0, f"negative counter {name}")
+    for user, value in report.per_user_traffic.items():
+        check(value >= 0, f"negative per-user traffic for user {user}")
+    per_user_sum = sum(report.per_user_traffic.values())
+    check(per_user_sum == report.traffic_bytes,
+          f"per-user traffic sums to {per_user_sum} but the merged report "
+          f"holds traffic_bytes={report.traffic_bytes}")
+    check(report.overhead_bytes <= report.traffic_bytes,
+          f"overhead {report.overhead_bytes} exceeds total traffic "
+          f"{report.traffic_bytes}")
+    for user, value in report.per_user_modification_traffic.items():
+        check(value >= 0,
+              f"negative per-user modification traffic for user {user}")
+        check(value <= report.per_user_traffic.get(user, 0),
+              f"user {user} modification traffic {value} exceeds the "
+              f"user's total traffic")
+    return out
+
+
+def audit_replay_report(report: Any) -> None:
+    violations = verify_replay_report(report)
+    if violations:
+        raise violations[0]
+
+
+def verify_replay_merge(parts: List[Any], merged: Any) -> List[AuditViolation]:
+    """Shard reports must sum, counter by counter, to the merged report.
+
+    Only valid for *final* (cross-user-resolved) shard reports whose
+    decrements were applied consistently — i.e. the outputs of the
+    two-phase parallel merge, not raw phase-one shards.
+    """
+    out: List[AuditViolation] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            out.append(AuditViolation("replay-conservation", message,
+                                      session=merged.service))
+
+    for name in ("traffic_bytes", "data_update_bytes", "overhead_bytes",
+                 "saved_by_compression", "saved_by_dedup", "saved_by_bds",
+                 "saved_by_ids", "file_count", "upload_events"):
+        total = sum(getattr(part, name) for part in parts)
+        check(total == getattr(merged, name),
+              f"shard {name} sums to {total}, merged report holds "
+              f"{getattr(merged, name)}")
+    for dict_name in ("per_user_traffic", "per_user_modification_traffic",
+                      "per_user_modification_update"):
+        summed: dict = {}
+        for part in parts:
+            for user, value in getattr(part, dict_name).items():
+                summed[user] = summed.get(user, 0) + value
+        check(summed == getattr(merged, dict_name),
+              f"per-user dict {dict_name} does not merge additively")
+    return out

@@ -1,7 +1,8 @@
 """Rendering helpers for tables and figure series."""
 
 from .export import load_json, row_dict, to_csv, to_json
+from .phases import render_phase_breakdown
 from .tables import render_series, render_table, size_cell
 
-__all__ = ["load_json", "render_series", "render_table", "row_dict",
-           "size_cell", "to_csv", "to_json"]
+__all__ = ["load_json", "render_phase_breakdown", "render_series",
+           "render_table", "row_dict", "size_cell", "to_csv", "to_json"]

@@ -1,0 +1,28 @@
+"""Per-phase timing/bytes breakdown table for a recorded trace.
+
+Renders the :meth:`~repro.obs.recorder.TraceRecorder.phase_breakdown`
+aggregation — one row per (span kind, name) phase with event count, wall
+time, and up/down/wasted wire bytes — in the same ASCII-table style the
+rest of the reporting layer uses.  Byte columns cover wire spans only;
+logical phases (defer windows, retry attempts, ...) contribute timing.
+"""
+
+from __future__ import annotations
+
+from ..units import fmt_size
+from .tables import render_table
+
+
+def render_phase_breakdown(source,
+                           title: str = "Per-phase timing & bytes") -> str:
+    """``source`` is a TraceRecorder or TraceHub (anything exposing
+    ``phase_breakdown()``)."""
+    rows = [
+        [stat.kind, stat.name, str(stat.events), f"{stat.seconds:.3f}",
+         fmt_size(stat.up_bytes), fmt_size(stat.down_bytes),
+         fmt_size(stat.wasted_bytes)]
+        for stat in source.phase_breakdown()
+    ]
+    return render_table(
+        ["Phase", "Name", "Events", "Seconds", "Up", "Down", "Wasted"],
+        rows, title=title)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, List, Tuple
 
 
 class Direction(enum.Enum):
@@ -146,6 +146,20 @@ class TrafficMeter:
             out[record.kind] = out.get(record.kind, 0) + record.total
         return out
 
+    def totals_by_kind(self) -> Dict[str, TrafficTotals]:
+        """Payload/overhead/wasted totals per record kind, both directions.
+
+        The wasted-aware companion of :meth:`bytes_by_kind`: summing any
+        field across kinds reproduces the meter-wide counter, which lets a
+        per-kind ``useful_tue`` be reported and lets the conservation audit
+        cross-check the ledger kind by kind.
+        """
+        out: Dict[str, TrafficTotals] = {}
+        for record in self.records:
+            totals = out.setdefault(record.kind, TrafficTotals())
+            totals.add(record.payload, record.overhead, record.wasted)
+        return out
+
     def snapshot(self) -> "MeterSnapshot":
         """Capture current totals so a caller can diff across an interval."""
         return MeterSnapshot(
@@ -170,8 +184,10 @@ class TrafficMeter:
             down_wasted=self.down.wasted - snapshot.down_wasted,
         )
 
-    def records_since(self, snapshot: "MeterSnapshot") -> Iterable[TrafficRecord]:
-        return self.records[snapshot.record_count:]
+    def records_since(self, snapshot: "MeterSnapshot") -> Tuple[TrafficRecord, ...]:
+        """Records appended after ``snapshot`` was taken, as an immutable
+        copy — records metered later must not leak into a captured view."""
+        return tuple(self.records[snapshot.record_count:])
 
     def reset(self) -> None:
         self.records.clear()

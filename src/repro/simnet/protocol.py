@@ -21,12 +21,15 @@ depend on serialisation delay and RTT counts, not on slow-start dynamics
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .clock import Simulator
 from .faults import FaultInjector, TransferInterrupted
 from .link import Link
 from .meter import Direction, TrafficMeter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..obs.recorder import TraceRecorder
 
 
 @dataclass
@@ -66,12 +69,17 @@ class Channel:
 
     def __init__(self, sim: Simulator, link: Link, meter: TrafficMeter,
                  costs: Optional[ProtocolCosts] = None,
-                 faults: Optional[FaultInjector] = None):
+                 faults: Optional[FaultInjector] = None,
+                 recorder: Optional["TraceRecorder"] = None):
         self.sim = sim
         self.link = link
         self.meter = meter
         self.costs = costs or ProtocolCosts()
         self.faults = faults
+        #: Optional trace recorder (duck-typed; see repro.obs).  Every wire
+        #: event emits exactly one span so the conservation audit can match
+        #: span deltas against meter totals byte for byte.
+        self.recorder = recorder
         self._connected_until: float = -1.0
         #: End time of the latest exchange — lets fault lookups see time
         #: advance *within* a sync transaction, whose exchanges all run at
@@ -109,14 +117,22 @@ class Channel:
         if costs.use_tls:
             up += costs.tls_handshake_up
             down += costs.tls_handshake_down
+        recorder = self.recorder
+        before = self.meter.snapshot() if recorder is not None else None
         self.meter.record(now, Direction.UP, 0, up, kind="handshake")
         self.meter.record(now, Direction.DOWN, 0, down, kind="handshake")
         self.handshake_count += 1
-        return (
+        duration = (
             self.link.round_trip_time(costs.handshake_rtts)
             + self.link.transfer_time(up, upstream=True)
             + self.link.transfer_time(down, upstream=False)
         )
+        if recorder is not None:
+            recorder.record_span(
+                "connect", "handshake", "channel", now, now + duration,
+                delta=self.meter.since(before), op="handshake",
+                up_bytes=up, down_bytes=down)
+        return duration
 
     def _touch(self, end_time: float) -> None:
         self._connected_until = end_time + self.costs.idle_timeout
@@ -148,6 +164,8 @@ class Channel:
         start = self.effective_now()
         duration = self._ensure_connection(start)
         costs = self.costs
+        recorder = self.recorder
+        before = self.meter.snapshot() if recorder is not None else None
 
         up_overhead_app = costs.request_header + up_meta
         down_overhead_app = costs.response_header + down_meta
@@ -202,6 +220,13 @@ class Channel:
 
         self.exchange_count += 1
         end_time = start + duration
+        if recorder is not None:
+            recorder.record_span(
+                "exchange", kind, "channel", start, end_time,
+                delta=self.meter.since(before), op="exchange",
+                up_payload=up_payload, down_payload=down_payload,
+                up_wire=up_wire, down_wire=down_wire,
+                up_retx=up_retx, down_retx=down_retx)
         self._busy_until = end_time
         self._touch(end_time)
         return duration
@@ -221,11 +246,22 @@ class Channel:
             sent_up = costs.tcp_handshake_up
         detect = min(costs.fault_detect_timeout, max(episode.end - fail_at, 0.0))
         elapsed = (fail_at - start) + detect
+        recorder = self.recorder
+        before = self.meter.snapshot() if recorder is not None else None
         self.meter.record(fail_at, Direction.UP, 0, sent_up,
                           kind=kind + "-aborted", wasted=sent_up)
         if sent_down:
             self.meter.record(fail_at, Direction.DOWN, 0, sent_down,
                               kind=kind + "-aborted", wasted=sent_down)
+        if recorder is not None:
+            recorder.record_span(
+                "exchange", kind + "-aborted", "channel", start,
+                start + elapsed, delta=self.meter.since(before), op="aborted",
+                sent_up=sent_up, sent_down=sent_down if sent_down else 0)
+            recorder.record_span(
+                "fault-episode", "blackout", "channel", fail_at, episode.end,
+                wasted=sent_up + (sent_down if sent_down else 0),
+                mid_transfer=mid_transfer)
         self.faults.note_abort(sent_up + sent_down, mid_transfer)
         self._busy_until = start + elapsed
         self._connected_until = -1.0  # the blackout killed the connection
@@ -242,6 +278,8 @@ class Channel:
         start = self.effective_now()
         duration = self._ensure_connection(start)
         costs = self.costs
+        recorder = self.recorder
+        before = self.meter.snapshot() if recorder is not None else None
         up_hdr, up_acks = self.link.wire_cost(costs.request_header)
         down_hdr, down_acks = self.link.wire_cost(costs.response_header)
         up_bytes = costs.request_header + up_hdr + down_acks
@@ -254,6 +292,11 @@ class Channel:
                      + self.link.transfer_time(down_bytes, upstream=False)
                      + self.link.round_trip_time(costs.exchange_rtts))
         end_time = start + duration
+        if recorder is not None:
+            recorder.record_span(
+                "exchange", kind, "channel", start, end_time,
+                delta=self.meter.since(before), op="rejected",
+                up_wire=costs.request_header, down_wire=costs.response_header)
         self._busy_until = end_time
         self._touch(end_time)
         return duration
@@ -269,6 +312,8 @@ class Channel:
             return 0.0
         start = self.effective_now()
         duration = self._ensure_connection(start)
+        recorder = self.recorder
+        before = self.meter.snapshot() if recorder is not None else None
         hdr, acks = self.link.wire_cost(wire_bytes)
         gross_up = wire_bytes + hdr
         self.meter.record(start, Direction.UP, 0, gross_up,
@@ -279,6 +324,11 @@ class Channel:
         duration += (up_transfer * (1.0 + self.costs.queue_inflation)
                      + self.link.round_trip_time(1.0))
         end_time = start + duration
+        if recorder is not None:
+            recorder.record_span(
+                "exchange", kind, "channel", start, end_time,
+                delta=self.meter.since(before), op="restart",
+                wire_bytes=wire_bytes)
         self._busy_until = end_time
         self._touch(end_time)
         return duration
@@ -303,11 +353,18 @@ class Channel:
         """Server→client push (sync notifications, status updates)."""
         hdr, acks = self.link.wire_cost(nbytes)
         start = self.effective_now()
+        recorder = self.recorder
+        before = self.meter.snapshot() if recorder is not None else None
         self.meter.record(start, Direction.DOWN, 0, nbytes + hdr, kind=kind)
         if acks:
             self.meter.record(start, Direction.UP, 0, acks, kind=kind)
         duration = self.link.transfer_time(nbytes + hdr, upstream=False) \
             + self.link.round_trip_time(0.5)
+        if recorder is not None:
+            recorder.record_span(
+                "exchange", kind, "channel", start, start + duration,
+                delta=self.meter.since(before), op="notification",
+                nbytes=nbytes)
         self._busy_until = start + duration
         self._touch(start + duration)
         return duration

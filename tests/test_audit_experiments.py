@@ -1,0 +1,108 @@
+"""Audited end-to-end runs: experiments under faults, parallel replay."""
+
+import pytest
+
+from repro.client import AccessMethod, service_profile
+from repro.core import measure_creation, run_faulty_sync
+from repro.obs import (
+    AuditViolation,
+    audit_hub,
+    audit_replay_report,
+    recording,
+    verify_replay_merge,
+    verify_replay_report,
+)
+from repro.trace import generate_trace, replay_trace, replay_trace_parallel
+from repro.trace.replay import ReplayReport
+from repro.units import KB
+
+
+def test_audited_experiment8_under_nonzero_fault_rate():
+    """The hardest path for conservation: aborts, retries, restart resends
+    and brownout rejections must all still sum span-by-span."""
+    with recording() as hub:
+        run = run_faulty_sync("Dropbox", fault_rate=0.75, resumable=False,
+                              file_count=2, file_size=512 * KB,
+                              unit_size=128 * KB)
+    assert run.wasted > 0                      # faults actually fired
+    audit_hub(hub)                             # every invariant holds
+    kinds = {s.kind for rec in hub.recorders for s in rec.spans}
+    assert "fault-episode" in kinds
+    assert "retry-attempt" in kinds
+
+
+def test_audited_experiment8_resumable_and_restart_agree_with_untraced():
+    """Tracing must not perturb the fault model either."""
+    for resumable in (False, True):
+        plain = run_faulty_sync("Dropbox", fault_rate=0.5,
+                                resumable=resumable, file_count=2,
+                                file_size=256 * KB, unit_size=64 * KB)
+        with recording(audit=True):
+            traced = run_faulty_sync("Dropbox", fault_rate=0.5,
+                                     resumable=resumable, file_count=2,
+                                     file_size=256 * KB, unit_size=64 * KB)
+        assert traced == plain
+
+
+def test_untraced_experiment_matches_traced_byte_for_byte():
+    plain = measure_creation("Box", AccessMethod.PC, 100 * KB)
+    with recording(audit=True):
+        traced = measure_creation("Box", AccessMethod.PC, 100 * KB)
+    assert traced == plain
+
+
+def test_audited_two_worker_parallel_replay():
+    """The merged parallel report passes conservation and matches the
+    sequential replay exactly."""
+    trace = generate_trace(scale=0.005, seed=7)
+    profile = service_profile("Dropbox", AccessMethod.PC)
+    sequential = replay_trace(trace, profile, seed=7)
+    merged = replay_trace_parallel(trace, profile, workers=2, seed=7)
+    assert merged == sequential
+    audit_replay_report(merged)                # no raise
+    assert verify_replay_report(merged) == []
+
+
+def test_replay_merge_is_counterwise_additive():
+    a = ReplayReport(service="Dropbox", access="pc", file_count=2,
+                     traffic_bytes=100, data_update_bytes=80,
+                     overhead_bytes=20, per_user_traffic={"u1": 100},
+                     per_user_modification_traffic={"u1": 10},
+                     per_user_modification_update={"u1": 5})
+    b = ReplayReport(service="Dropbox", access="pc", file_count=3,
+                     traffic_bytes=50, data_update_bytes=40,
+                     overhead_bytes=10, per_user_traffic={"u1": 20, "u2": 30},
+                     per_user_modification_traffic={"u2": 7},
+                     per_user_modification_update={"u2": 3})
+    merged = ReplayReport.merge([a, b])
+    assert verify_replay_merge([a, b], merged) == []
+    audit_replay_report(merged)
+    # Tamper with the merge: the auditor must notice.
+    merged.per_user_traffic["u2"] -= 1
+    assert any(v.invariant == "replay-conservation"
+               for v in verify_replay_merge([a, b], merged))
+
+
+def test_corrupted_replay_report_raises():
+    trace = generate_trace(scale=0.005, seed=9)
+    profile = service_profile("GoogleDrive", AccessMethod.PC)
+    report = replay_trace_parallel(trace, profile, workers=2, seed=9)
+    some_user = next(iter(report.per_user_traffic))
+    report.per_user_traffic[some_user] += 1
+    with pytest.raises(AuditViolation) as err:
+        audit_replay_report(report)
+    assert err.value.invariant == "replay-conservation"
+
+
+def test_recording_audit_flag_raises_on_corruption():
+    """recording(audit=True) is the one-liner the CLI uses; prove the flag
+    actually audits by corrupting the meter inside the block."""
+    from repro.client import SyncSession
+    from repro.simnet import Direction
+
+    with pytest.raises(AuditViolation):
+        with recording(audit=True):
+            session = SyncSession("Dropbox", AccessMethod.PC)
+            session.create_random_file("f.bin", 16 * KB, seed=1)
+            session.run_until_idle()
+            session.meter.record(0.0, Direction.DOWN, 0, 12345, kind="ghost")

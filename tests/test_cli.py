@@ -116,3 +116,49 @@ def test_overuse(capsys):
 def test_upgrades_single_service(capsys):
     out = run(capsys, "upgrades", "--services", "Box")
     assert "Box" in out and "ids" in out
+
+
+def test_audit_experiment(capsys):
+    out = run(capsys, "audit", "exp1")
+    assert "conservation audit passed" in out
+    assert "Per-phase breakdown" in out
+    assert "exchange" in out
+
+
+def test_audit_exp8_with_fault_rate(capsys):
+    out = run(capsys, "audit", "exp8", "--fault-rate", "0.75")
+    assert "conservation audit passed" in out
+
+
+def test_audit_parallel_replay(capsys):
+    out = run(capsys, "audit", "replay", "--workers", "2", "--scale", "0.005")
+    assert "conservation audit passed" in out
+
+
+def test_audit_writes_optional_trace(tmp_path, capsys):
+    path = tmp_path / "spans.jsonl"
+    out = run(capsys, "audit", "exp3", "--trace", str(path))
+    assert "span trace written" in out
+    assert path.exists() and path.stat().st_size > 0
+
+
+def test_trace_run_exports_jsonl(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "spans.jsonl"
+    out = run(capsys, "trace-run", "exp1", "--out", str(path), "--audit")
+    assert "conservation audit passed" in out
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert any(entry["type"] == "session" for entry in lines)
+    assert any(entry["type"] == "span" and entry["kind"] == "exchange"
+               for entry in lines)
+
+
+def test_trace_run_requires_out(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace-run", "exp1"])
+
+
+def test_audit_rejects_unknown_target():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["audit", "exp99"])

@@ -4,10 +4,14 @@ These assert the *qualitative* results — who wins, orderings, crossovers —
 rather than absolute bytes, which is the reproduction contract.
 """
 
+import math
+
 import pytest
 
 from repro.client import AccessMethod
 from repro.core import (
+    CreationCell,
+    ModificationCell,
     experiment2_deletion,
     experiment6_frequent_mods,
     measure_batch_creation,
@@ -22,6 +26,34 @@ from repro.units import KB, MB
 # ---------------------------------------------------------------------------
 # Experiment 1 (Table 6 / Figure 3)
 # ---------------------------------------------------------------------------
+
+def test_zero_size_creation_tue_is_infinite():
+    """Regression: the old ``max(size, 1)`` denominator made a 0-byte
+    creation report TUE == traffic, as if one byte had been written."""
+    cell = measure_creation("Dropbox", AccessMethod.PC, 0)
+    assert cell.traffic > 0            # the sync itself still costs bytes
+    assert math.isinf(cell.tue)
+    assert CreationCell("Dropbox", AccessMethod.PC, 0, traffic=1234,
+                        overhead=1234).tue == float("inf")
+
+
+def test_one_byte_creation_tue_is_traffic():
+    """Size 1 must keep its exact historical meaning: traffic / 1."""
+    cell = measure_creation("Dropbox", AccessMethod.PC, 1)
+    assert cell.tue == cell.traffic
+    assert not math.isinf(cell.tue)
+
+
+def test_zero_size_modification_cell_tue_is_infinite():
+    """A 0-size ModificationCell cannot come out of measure_modification
+    (you cannot modify a byte of an empty file) but is constructible; its
+    sentinel must match CreationCell's instead of silently reporting
+    TUE == traffic."""
+    assert math.isinf(
+        ModificationCell("Dropbox", AccessMethod.PC, 0, traffic=999).tue)
+    one = ModificationCell("Dropbox", AccessMethod.PC, 1, traffic=999)
+    assert one.tue == 999.0
+
 
 def test_creation_tue_decreases_with_size():
     """Figure 3: small files → huge TUE; ≥1 MB → TUE under ~1.5."""

@@ -54,6 +54,21 @@ def test_records_since_returns_new_records_only():
     assert kinds == ["new"]
 
 
+def test_records_since_is_an_immutable_copy():
+    """Regression: records_since used to return a live list slice, so
+    records metered *after* the snapshot leaked into a previously captured
+    view (and callers could mutate the meter's ledger through it)."""
+    meter = TrafficMeter()
+    meter.record(0.0, Direction.UP, 1, 0, kind="old")
+    snap = meter.snapshot()
+    meter.record(1.0, Direction.UP, 2, 0, kind="new")
+    view = meter.records_since(snap)
+    meter.record(2.0, Direction.UP, 3, 0, kind="late")
+    assert [r.kind for r in view] == ["new"]          # no leak
+    assert [r.kind for r in view] == ["new"]          # re-iterable
+    assert isinstance(view, tuple)
+
+
 def test_bytes_by_kind_groups_totals():
     meter = TrafficMeter()
     meter.record(0.0, Direction.UP, 10, 2, kind="upload")
@@ -61,6 +76,35 @@ def test_bytes_by_kind_groups_totals():
     meter.record(0.0, Direction.DOWN, 0, 7, kind="notify")
     groups = meter.bytes_by_kind()
     assert groups == {"upload": 17, "notify": 7}
+
+
+def test_totals_by_kind_decomposes_payload_overhead_wasted():
+    meter = TrafficMeter()
+    meter.record(0.0, Direction.UP, 10, 2, kind="upload")
+    meter.record(0.0, Direction.DOWN, 0, 5, kind="upload", wasted=3)
+    meter.record(0.0, Direction.DOWN, 0, 7, kind="notify")
+    meter.record(1.0, Direction.UP, 0, 40, kind="restart", wasted=40)
+    kinds = meter.totals_by_kind()
+    assert set(kinds) == {"upload", "notify", "restart"}
+    assert kinds["upload"].payload == 10
+    assert kinds["upload"].overhead == 7
+    assert kinds["upload"].wasted == 3
+    assert kinds["restart"].wasted == kinds["restart"].total == 40
+    # totals by kind must match bytes_by_kind and the meter-wide counters
+    assert {k: t.total for k, t in kinds.items()} == meter.bytes_by_kind()
+    assert sum(t.payload for t in kinds.values()) == meter.payload_bytes
+    assert sum(t.overhead for t in kinds.values()) == meter.overhead_bytes
+
+
+def test_totals_by_kind_wasted_sums_to_wasted_bytes():
+    meter = TrafficMeter()
+    meter.record(0.0, Direction.UP, 100, 20, kind="upload", wasted=30)
+    meter.record(1.0, Direction.DOWN, 0, 50, kind="rejected", wasted=50)
+    meter.record(2.0, Direction.UP, 5, 5, kind="poll")
+    kinds = meter.totals_by_kind()
+    assert sum(t.wasted for t in kinds.values()) == meter.wasted_bytes == 80
+    for totals in kinds.values():
+        assert totals.wasted <= totals.total
 
 
 def test_reset_clears_everything():
