@@ -23,7 +23,7 @@ import sys
 from typing import List, Optional
 
 from .client import AccessMethod, SERVICES, service_profile
-from .reporting import render_series, render_table, size_cell
+from .reporting import fmt_tue, render_series, render_table, size_cell
 from .units import KB, MB, fmt_size
 
 
@@ -50,6 +50,7 @@ def cmd_list(_args) -> int:
         ["overuse", "per-user traffic-overuse statistic ([36])"],
         ["audit", "run an experiment under the byte-conservation auditor"],
         ["trace-run", "record an experiment's wire-level span trace (JSONL)"],
+        ["lint", "reprolint: static determinism/conservation invariants"],
     ]
     print(render_table(["Command", "Reproduces"], rows))
     return 0
@@ -72,7 +73,7 @@ def cmd_table6(args) -> int:
 def cmd_table7(args) -> int:
     from .core import experiment1_batch
     rows = [
-        [row.service, size_cell(row.traffic), f"{row.tue:.1f}"]
+        [row.service, size_cell(row.traffic), fmt_tue(row.tue, precision=1)]
         for row in experiment1_batch(access_methods=(args.access,))
     ]
     print(render_table(["Service", "Traffic", "TUE"], rows,
@@ -225,7 +226,7 @@ def cmd_replay(args) -> int:
     from .trace import generate_trace, replay_all
     trace = generate_trace(scale=args.scale, seed=args.seed)
     rows = [
-        [report.service, fmt_size(report.traffic_bytes), f"{report.tue:.2f}",
+        [report.service, fmt_size(report.traffic_bytes), fmt_tue(report.tue),
          fmt_size(report.saved_by_compression), fmt_size(report.saved_by_dedup),
          fmt_size(report.saved_by_bds), fmt_size(report.saved_by_ids)]
         for report in replay_all(trace, access=args.access, seed=args.seed,
@@ -331,6 +332,54 @@ def _cmd_observed(args, audit: bool) -> int:
     return 0
 
 
+#: Baseline applied by default when the file exists (repo root); passing
+#: --baseline explicitly makes a missing file an error instead.
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+def cmd_lint(args) -> int:
+    import json as _json
+    import os.path
+
+    from .lint import ALL_RULES, lint_paths
+
+    baseline = args.baseline
+    if baseline is None:
+        baseline = DEFAULT_BASELINE if os.path.exists(DEFAULT_BASELINE) \
+            else None
+    elif not os.path.exists(baseline):
+        print(f"error: baseline file {baseline!r} does not exist",
+              file=sys.stderr)
+        return 2
+    result = lint_paths(args.paths, ALL_RULES, baseline_path=baseline)
+
+    stale_fails = bool(result.stale) and args.fail_stale
+    if args.format == "json":
+        print(_json.dumps({
+            "files": result.file_count,
+            "findings": [finding.to_dict() for finding in result.findings],
+            "baseline_applied": result.baseline_applied,
+            "stale_baseline": [
+                {"rule": entry.rule, "path": entry.path,
+                 "comment": entry.comment}
+                for entry in result.stale],
+        }, indent=2))
+        return 1 if (result.findings or stale_fails) else 0
+
+    for finding in result.findings:
+        print(finding.format())
+    for entry in result.stale:
+        print(f"{'error' if args.fail_stale else 'warning'}: stale baseline "
+              f"entry {entry.rule} for {entry.path} — the finding no longer "
+              f"fires; remove the suppression")
+    status = "FAILED" if (result.findings or stale_fails) else "ok"
+    print(f"reprolint: {result.file_count} file(s), "
+          f"{len(result.findings)} finding(s), "
+          f"{result.baseline_applied} baselined, "
+          f"{len(result.stale)} stale — {status}")
+    return 1 if (result.findings or stale_fails) else 0
+
+
 def cmd_audit(args) -> int:
     return _cmd_observed(args, audit=True)
 
@@ -406,6 +455,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed": dict(type=int, default=42),
         "--workers": dict(type=int, default=2),
     }
+    add("lint", cmd_lint,
+        **{"paths": dict(nargs="*", default=["src"]),
+           "--format": dict(choices=("text", "json"), default="text"),
+           "--baseline": dict(default=None),
+           "--fail-stale": dict(action="store_true", dest="fail_stale")})
     add("audit", cmd_audit,
         **dict(observed, **{"--trace": dict(default=None, dest="out")}))
     add("trace-run", cmd_trace_run,

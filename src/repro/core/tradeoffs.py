@@ -51,7 +51,9 @@ class CostReport:
     @property
     def tue(self) -> float:
         if self.data_update_bytes <= 0:
-            return float("nan")
+            # Zero-size convention (PR 3): traffic with no data update is
+            # infinitely inefficient; no traffic at all is undefined.
+            return float("inf") if self.traffic_bytes > 0 else float("nan")
         return self.traffic_bytes / self.data_update_bytes
 
     @property
@@ -104,7 +106,7 @@ def measure_costs(
     return CostReport(
         profile_name=profile.name,
         traffic_bytes=session.total_traffic,
-        data_update_bytes=max(update_bytes, 1),
+        data_update_bytes=update_bytes,
         stored_bytes=server.objects.stored_bytes,
         logical_bytes=logical,
         rest_operations=server.objects.ops.total_ops(),

@@ -1,0 +1,11 @@
+"""reprolint: static enforcement of determinism, byte-conservation, and
+trace-coverage invariants (``repro lint``; see DESIGN.md)."""
+
+from .engine import (BaselineEntry, FileContext, Finding, LintResult,
+                     META_RULE, Rule, derive_module, iter_python_files,
+                     lint_paths, lint_source, load_baseline)
+from .rules import ALL_RULES, RULES_BY_ID
+
+__all__ = ["ALL_RULES", "BaselineEntry", "FileContext", "Finding",
+           "LintResult", "META_RULE", "RULES_BY_ID", "Rule", "derive_module",
+           "iter_python_files", "lint_paths", "lint_source", "load_baseline"]

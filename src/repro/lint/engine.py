@@ -1,0 +1,420 @@
+"""reprolint: AST-based enforcement of the repo's coding invariants.
+
+The determinism, byte-conservation, and observability guarantees (byte
+identical parallel replay, traced-vs-untraced equality, the six
+conservation invariants) all rest on *coding* conventions — seeded
+per-record RNG streams, integer-only byte accounting, meter mutation
+through the single Channel path — that the runtime auditor can only catch
+after a violation has already corrupted a run.  This engine checks them
+statically, at review time.
+
+Architecture:
+
+* :class:`FileContext` — one parsed file: AST with parent links, the
+  dotted module name (derived from the path, overridable with a
+  ``# reprolint: module=...`` pragma so fixtures can impersonate any
+  module), set-binding scope tracking, and pragma suppression state;
+* :class:`Rule` — base class; each rule walks the context and yields
+  :class:`Finding` objects with ``file:line``, rule id, and a fix hint;
+* pragmas — ``# reprolint: disable=REP001`` on the offending line or
+  ``# reprolint: disable-file[=REP001]`` anywhere; a pragma naming an
+  unknown rule id is itself a lint error (``REP000``), never silently
+  ignored;
+* baseline — a committed JSON file of accepted findings keyed by
+  (rule, path); entries require a justification comment, and an entry
+  whose finding no longer fires is reported as *stale* so suppressions
+  cannot outlive the code they excused.
+
+``REP000`` is reserved for meta errors (syntax errors, malformed pragmas,
+malformed baseline entries) and cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path, PurePath
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence, Set,
+                    Tuple)
+
+#: Reserved id for engine-level problems; never suppressible.
+META_RULE = "REP000"
+
+_PRAGMA_PREFIX = "reprolint:"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation, pinned to ``path:line:col``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message, "hint": self.hint}
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set ``id``/``summary``/``hint`` and implement
+    :meth:`check`, yielding findings for one :class:`FileContext`.
+    """
+
+    id: str = META_RULE
+    summary: str = ""
+    hint: str = ""
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def at(self, ctx: "FileContext", node: ast.AST,
+           message: Optional[str] = None,
+           hint: Optional[str] = None) -> Finding:
+        return Finding(
+            rule=self.id, path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message if message is not None else self.summary,
+            hint=hint if hint is not None else self.hint)
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain; "" when the chain is broken
+    by a call, subscript, or any non-name expression."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def derive_module(path: str) -> str:
+    """Dotted module for a file path: anchored at the last ``repro`` or
+    ``tests`` path segment, falling back to the bare stem."""
+    parts = list(PurePath(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    for anchor in ("repro", "tests"):
+        if anchor in parts:
+            start = len(parts) - 1 - parts[::-1].index(anchor)
+            dotted = [p for p in parts[start:] if p != "__init__"]
+            return ".".join(dotted)
+    return parts[-1] if parts else ""
+
+
+@dataclass
+class _Pragmas:
+    """Parsed ``# reprolint:`` directives for one file."""
+
+    module: Optional[str] = None
+    file_disables: Set[str] = field(default_factory=set)   # rule ids, or "*"
+    line_disables: Dict[int, Set[str]] = field(default_factory=dict)
+    errors: List[Tuple[int, str]] = field(default_factory=list)
+
+    def suppresses(self, finding: Finding) -> bool:
+        if finding.rule == META_RULE:
+            return False
+        if finding.rule in self.file_disables or "*" in self.file_disables:
+            return True
+        rules = self.line_disables.get(finding.line, ())
+        return finding.rule in rules or "*" in rules
+
+
+def _parse_pragmas(source: str, known_ids: Set[str]) -> _Pragmas:
+    pragmas = _Pragmas()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return pragmas  # the AST parse reports the syntax error
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        text = token.string.lstrip("#").strip()
+        if not text.startswith(_PRAGMA_PREFIX):
+            continue
+        line = token.start[0]
+        for word in text[len(_PRAGMA_PREFIX):].split():
+            key, equals, value = word.partition("=")
+            if not equals:
+                if key in ("module", "disable", "disable-file"):
+                    pragmas.errors.append(
+                        (line, f"pragma '{key}' requires =VALUE"))
+                    continue
+                # First non-directive token starts the justification prose
+                # that every suppression pragma should carry.
+                break
+            if key == "module" and value:
+                pragmas.module = value
+            elif key in ("disable", "disable-file"):
+                rules = set(value.split(",")) if value else set()
+                unknown = sorted(r for r in rules
+                                 if r != "*" and r not in known_ids)
+                if not rules or unknown:
+                    pragmas.errors.append(
+                        (line, f"pragma '{key}' names unknown or missing "
+                               f"rule id(s): " + (", ".join(unknown) or "<none>")))
+                    continue
+                if key == "disable-file":
+                    pragmas.file_disables |= rules
+                else:
+                    pragmas.line_disables.setdefault(line, set()).update(rules)
+            else:
+                pragmas.errors.append(
+                    (line, f"unknown reprolint pragma {word!r}"))
+    return pragmas
+
+
+class FileContext:
+    """One file under analysis: source, AST with parent links, scope info."""
+
+    def __init__(self, path: str, source: str, known_ids: Set[str],
+                 module: Optional[str] = None):
+        self.path = PurePath(path).as_posix()
+        self.source = source
+        self.pragmas = _parse_pragmas(source, known_ids)
+        self.module = self.pragmas.module or module or derive_module(path)
+        self.tree = ast.parse(source, filename=path)
+        self._parents: Dict[int, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[id(child)] = node
+        self._set_names: Optional[Dict[int, Set[str]]] = None
+
+    # -- navigation --------------------------------------------------------
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def in_package(self, *prefixes: str) -> bool:
+        return any(self.module == p or self.module.startswith(p + ".")
+                   for p in prefixes)
+
+    # -- scope tracking ----------------------------------------------------
+
+    def _scope_of(self, node: ast.AST) -> ast.AST:
+        return self.enclosing_function(node) or self.tree
+
+    def set_bound_names(self, node: ast.AST) -> Set[str]:
+        """Names bound to ``set``-valued expressions in ``node``'s scope
+        (assignments from ``set(...)``, set literals/comprehensions, or a
+        ``Set[...]`` annotation) — the scope tracking behind REP003."""
+        if self._set_names is None:
+            self._set_names = {}
+            for candidate in self.walk():
+                names: List[str] = []
+                if isinstance(candidate, ast.Assign) and _is_set_expr(candidate.value):
+                    for target in candidate.targets:
+                        if isinstance(target, ast.Name):
+                            names.append(target.id)
+                elif isinstance(candidate, ast.AnnAssign) and isinstance(
+                        candidate.target, ast.Name):
+                    annotation = dotted_name(candidate.annotation) \
+                        if not isinstance(candidate.annotation, ast.Subscript) \
+                        else dotted_name(candidate.annotation.value)
+                    if annotation.split(".")[-1] in ("set", "Set", "frozenset",
+                                                     "FrozenSet"):
+                        names.append(candidate.target.id)
+                    elif candidate.value is not None and _is_set_expr(candidate.value):
+                        names.append(candidate.target.id)
+                if names:
+                    scope = self._scope_of(candidate)
+                    self._set_names.setdefault(id(scope), set()).update(names)
+        return self._set_names.get(id(self._scope_of(node)), set())
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: (rule, path) plus its justification."""
+
+    rule: str
+    path: str
+    comment: str
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule != self.rule:
+            return False
+        return (finding.path == self.path
+                or finding.path.endswith("/" + self.path))
+
+
+def load_baseline(path: str, known_ids: Set[str],
+                  ) -> Tuple[List[BaselineEntry], List[Finding]]:
+    """Parse a baseline file; malformed entries become ``REP000`` findings."""
+    entries: List[BaselineEntry] = []
+    errors: List[Finding] = []
+
+    def error(message: str) -> None:
+        errors.append(Finding(META_RULE, PurePath(path).as_posix(), 1, 0,
+                              message, "fix the baseline file"))
+
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        error(f"cannot read baseline: {exc}")
+        return entries, errors
+    raw_entries = payload.get("entries") if isinstance(payload, dict) else None
+    if not isinstance(raw_entries, list):
+        error("baseline must be an object with an 'entries' list")
+        return entries, errors
+    for position, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            error(f"baseline entry #{position} is not an object")
+            continue
+        rule = raw.get("rule", "")
+        target = raw.get("path", "")
+        comment = raw.get("comment", "")
+        if rule not in known_ids:
+            error(f"baseline entry #{position} names unknown rule {rule!r}")
+            continue
+        if not target or not isinstance(target, str):
+            error(f"baseline entry #{position} is missing a 'path'")
+            continue
+        if not comment or not isinstance(comment, str) or not comment.strip():
+            error(f"baseline entry #{position} ({rule} in {target}) has no "
+                  f"justification 'comment' — every suppression must say why")
+            continue
+        entries.append(BaselineEntry(rule, PurePath(target).as_posix(),
+                                     comment.strip()))
+    return entries, errors
+
+
+# ---------------------------------------------------------------------------
+# Running
+# ---------------------------------------------------------------------------
+
+#: Directory names skipped when walking trees (deliberate-violation fixtures
+#: are linted only when a test passes their file path explicitly).
+SKIP_DIR_NAMES = frozenset({"__pycache__", "lint_fixtures", ".git"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, after pragma + baseline suppression."""
+
+    findings: List[Finding]
+    stale: List[BaselineEntry]
+    file_count: int
+    baseline_applied: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not SKIP_DIR_NAMES.intersection(candidate.parts):
+                    yield candidate
+        else:
+            yield path
+
+
+def lint_source(source: str, path: str, rules: Sequence[Rule],
+                module: Optional[str] = None) -> List[Finding]:
+    """Lint one source string (the API tests and editors use)."""
+    known_ids = {rule.id for rule in rules}
+    try:
+        ctx = FileContext(path, source, known_ids, module=module)
+    except SyntaxError as exc:
+        return [Finding(META_RULE, PurePath(path).as_posix(),
+                        exc.lineno or 1, exc.offset or 0,
+                        f"syntax error: {exc.msg}", "")]
+    findings: Dict[Tuple[str, int, int], Finding] = {}
+    for line, message in ctx.pragmas.errors:
+        finding = Finding(META_RULE, ctx.path, line, 0, message,
+                          "see DESIGN.md 'Static invariants and reprolint'")
+        findings[(finding.rule, finding.line, finding.col)] = finding
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if not ctx.pragmas.suppresses(finding):
+                findings.setdefault(
+                    (finding.rule, finding.line, finding.col), finding)
+    return sorted(findings.values(), key=lambda f: f.sort_key)
+
+
+def lint_paths(paths: Sequence[str], rules: Sequence[Rule],
+               baseline_path: Optional[str] = None) -> LintResult:
+    """Lint files/trees, then apply the committed baseline."""
+    known_ids = {rule.id for rule in rules}
+    findings: List[Finding] = []
+    file_count = 0
+    for file_path in iter_python_files(paths):
+        file_count += 1
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(Finding(META_RULE, file_path.as_posix(), 1, 0,
+                                    f"cannot read file: {exc}", ""))
+            continue
+        findings.extend(lint_source(source, str(file_path), rules))
+
+    entries: List[BaselineEntry] = []
+    if baseline_path is not None:
+        entries, baseline_errors = load_baseline(baseline_path, known_ids)
+        findings.extend(baseline_errors)
+
+    kept: List[Finding] = []
+    matched: Set[BaselineEntry] = set()
+    suppressed = 0
+    for finding in findings:
+        entry = next((e for e in entries if e.matches(finding)), None)
+        if entry is not None and finding.rule != META_RULE:
+            matched.add(entry)
+            suppressed += 1
+        else:
+            kept.append(finding)
+    stale = [entry for entry in entries if entry not in matched]
+    kept.sort(key=lambda f: f.sort_key)
+    return LintResult(findings=kept, stale=stale, file_count=file_count,
+                      baseline_applied=suppressed)

@@ -1,0 +1,45 @@
+"""The reprolint rule registry.
+
+Three families (see DESIGN.md, "Static invariants and reprolint"):
+
+* determinism — REP001 wall clocks, REP002 unseeded RNGs, REP003
+  unordered iteration in accounting code, REP004 ambient entropy,
+  REP005 salted ``hash()``, REP006 environment reads;
+* byte-conservation — REP010 float arithmetic feeding byte counters,
+  REP011 meter mutation outside the Channel path, REP012 ``max(x, 1)``
+  denominators masking zero updates;
+* observability — REP020 meter mutation without a span emit, REP021
+  swallowed failure evidence, REP022 unknown span kinds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..engine import Rule
+from .conservation import (FloatByteArithmeticRule, MaskedZeroDenominatorRule,
+                           MeterMutationRule)
+from .determinism import (AmbientEntropyRule, AmbientEnvironmentRule,
+                          SaltedHashRule, UnorderedIterationRule,
+                          UnseededRngRule, WallClockRule)
+from .observability import (SwallowedFailureRule, UnknownSpanKindRule,
+                            UnpairedEmitRule)
+
+ALL_RULES: List[Rule] = [
+    WallClockRule(),
+    UnseededRngRule(),
+    UnorderedIterationRule(),
+    AmbientEntropyRule(),
+    SaltedHashRule(),
+    AmbientEnvironmentRule(),
+    FloatByteArithmeticRule(),
+    MeterMutationRule(),
+    MaskedZeroDenominatorRule(),
+    UnpairedEmitRule(),
+    SwallowedFailureRule(),
+    UnknownSpanKindRule(),
+]
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_ID"]

@@ -1,0 +1,151 @@
+"""Observability rules (REP020–REP022).
+
+The conservation audit (PR 3) can only balance the books if every wire
+event produced a span and no failure signal was silently swallowed on the
+way to it.  These rules keep the emit sites and the failure paths honest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..engine import FileContext, Finding, Rule, dotted_name
+from .conservation import METER_MUTATION_MODULES, meter_mutation_call
+
+#: Exceptions that carry audit/failure evidence; a handler that catches
+#: one and does nothing destroys the evidence the auditor needs.
+_CRITICAL_EXCEPTIONS = frozenset({
+    "AuditViolation", "FaultError", "TransferInterrupted", "SimulationError",
+    "IntegrityError", "RetriesExhausted",
+})
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+#: Constant names exported by repro.obs.recorder for span kinds.
+_SPAN_KIND_CONSTANTS = frozenset({
+    "CONNECT", "EXCHANGE", "RETRY_ATTEMPT", "DEFER_WINDOW", "DEDUP_HIT",
+    "FAULT_EPISODE", "SYNC_TRANSACTION", "METER_RESET",
+})
+
+
+def _known_span_kinds() -> frozenset:
+    """The single source of truth: repro.obs.recorder.SPAN_KINDS."""
+    from ...obs.recorder import SPAN_KINDS
+    return frozenset(SPAN_KINDS)
+
+
+class UnpairedEmitRule(Rule):
+    """REP020: a meter-mutating function must also emit a span."""
+
+    id = "REP020"
+    summary = "meter mutation without a recorder emit site"
+    hint = ("emit recorder.record_span(...) next to the meter.record(...) "
+            "so the conservation audit can balance this path")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # The meter module itself cannot emit spans (it is what spans
+        # describe); everything else that touches the wire must pair up.
+        if not ctx.in_package("repro") \
+                or ctx.in_package("repro.simnet.meter"):
+            return
+        for node in ctx.walk():
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            mutations: List[ast.AST] = []
+            emits = False
+            for child in ast.walk(node):
+                if meter_mutation_call(child):
+                    mutations.append(child)
+                if isinstance(child, ast.Call) \
+                        and isinstance(child.func, ast.Attribute) \
+                        and child.func.attr in ("record_span", "note_reset"):
+                    emits = True
+            if mutations and not emits:
+                yield self.at(ctx, mutations[0],
+                              f"{ctx.module}.{node.name}() mutates the "
+                              f"meter but never emits a span")
+
+
+class SwallowedFailureRule(Rule):
+    """REP021: no do-nothing handlers around failure signals."""
+
+    id = "REP021"
+    summary = "exception handler silently swallows failure evidence"
+    hint = "narrow the exception type, or record/re-raise what was caught"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._noop_body(node.body):
+                continue
+            caught = self._caught_names(node.type)
+            critical = sorted(set(caught) & _CRITICAL_EXCEPTIONS)
+            if critical:
+                yield self.at(ctx, node,
+                              f"except {critical[0]}: pass destroys the "
+                              f"failure evidence the audit needs")
+            elif (node.type is None or set(caught) & _BROAD_EXCEPTIONS) \
+                    and ctx.in_package("repro"):
+                yield self.at(ctx, node,
+                              "bare/broad except with an empty body would "
+                              "swallow AuditViolation and FaultError too")
+
+    @staticmethod
+    def _noop_body(body: List[ast.stmt]) -> bool:
+        for statement in body:
+            if isinstance(statement, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(statement, ast.Expr) \
+                    and isinstance(statement.value, ast.Constant):
+                continue  # docstring or `...`
+            return False
+        return True
+
+    @staticmethod
+    def _caught_names(node) -> List[str]:
+        if node is None:
+            return []
+        elements = node.elts if isinstance(node, ast.Tuple) else [node]
+        names = []
+        for element in elements:
+            name = dotted_name(element)
+            if name:
+                names.append(name.split(".")[-1])
+        return names
+
+
+class UnknownSpanKindRule(Rule):
+    """REP022: span kinds must be literals the auditor understands."""
+
+    id = "REP022"
+    summary = "record_span() with an unknown span kind"
+    hint = "use a kind from repro.obs.recorder.SPAN_KINDS"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro"):
+            return
+        known = _known_span_kinds()
+        for node in ctx.walk():
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "record_span"):
+                continue
+            kind_expr = node.args[0] if node.args else next(
+                (kw.value for kw in node.keywords if kw.arg == "kind"), None)
+            if kind_expr is None:
+                continue
+            if isinstance(kind_expr, ast.Constant) \
+                    and isinstance(kind_expr.value, str):
+                if kind_expr.value not in known:
+                    yield self.at(ctx, kind_expr,
+                                  f"span kind {kind_expr.value!r} is not in "
+                                  f"SPAN_KINDS; the audit would reject it "
+                                  f"at runtime")
+            elif isinstance(kind_expr, ast.Name) \
+                    and kind_expr.id.isupper() \
+                    and kind_expr.id not in _SPAN_KIND_CONSTANTS:
+                yield self.at(ctx, kind_expr,
+                              f"span kind constant {kind_expr.id!r} is not "
+                              f"an exported SPAN_KINDS name")

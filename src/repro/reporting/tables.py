@@ -44,3 +44,17 @@ def render_series(points: Sequence[Tuple[float, float]],
 def size_cell(nbytes: float) -> str:
     """Table 6/7/8 style byte formatting."""
     return fmt_size(nbytes)
+
+
+def fmt_tue(value: float, precision: int = 2) -> str:
+    """Render a TUE ratio under the zero-size convention (PR 3).
+
+    ``nan`` (no traffic, no update) renders as ``—``; ``inf`` (traffic
+    with a zero-byte update) renders literally; everything else gets
+    ``precision`` decimals.
+    """
+    if value != value:  # nan
+        return "—"
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.{precision}f}"

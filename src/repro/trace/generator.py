@@ -291,7 +291,8 @@ def _make_record(rng: np.random.Generator, segments: _SegmentFactory,
                           TRACE_SPAN)
         modified_at = max(modified_at, created_at)
 
-    compressible = compressed / max(size, 1) < 0.9
+    # _draw_size clamps every size to >= 1, so no zero guard is needed.
+    compressible = compressed / size < 0.9
     extensions = (_EXTENSIONS_COMPRESSIBLE if compressible
                   else _EXTENSIONS_INCOMPRESSIBLE)
     extension = extensions[int(rng.integers(len(extensions)))]

@@ -98,7 +98,9 @@ class ReplayReport:
     @property
     def tue(self) -> float:
         if self.data_update_bytes <= 0:
-            return float("nan")
+            # Zero-size convention (PR 3): traffic with no data update is
+            # infinitely inefficient; no traffic at all is undefined.
+            return float("inf") if self.traffic_bytes > 0 else float("nan")
         return self.traffic_bytes / self.data_update_bytes
 
     @property
@@ -299,7 +301,10 @@ def _replay_records(shard: Sequence[Tuple[int, FileRecord]],
                 # Delta ships the altered region rounded up to whole blocks.
                 blocks = -(-altered // profile.delta_block) + 1
                 delta_wire = min(blocks * profile.delta_block, record.size)
-                ratio = record.compressed_size / max(record.size, 1)
+                # size == 0 forces delta_wire to 0 above, so the ratio is
+                # never consumed on that branch; no max(size, 1) masking.
+                ratio = (record.compressed_size / record.size
+                         if record.size else 0.0)
                 delta_wire = _wire_payload(
                     profile, delta_wire, int(delta_wire * ratio))
                 report.saved_by_ids += max(full_wire - delta_wire, 0)

@@ -1,0 +1,10 @@
+# reprolint: module=repro.simnet.fixture
+"""Bad: wall clocks inside deterministic simulation code."""
+import time
+from datetime import datetime
+
+
+def stamp_events(events):
+    started = time.time()  # expect: REP001
+    now = datetime.now()  # expect: REP001
+    return [(started, now, event) for event in events]

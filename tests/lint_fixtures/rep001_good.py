@@ -1,0 +1,6 @@
+# reprolint: module=repro.simnet.fixture
+"""Good: time comes from the Simulator's virtual clock."""
+
+
+def stamp_events(sim, events):
+    return [(sim.now, event) for event in events]

@@ -1,0 +1,13 @@
+# reprolint: module=repro.trace.fixture
+"""Bad: unseeded constructors and process-global RNG draws."""
+import random
+
+import numpy as np
+
+
+def draw_sizes(count):
+    rng = random.Random()  # expect: REP002
+    generator = np.random.default_rng()  # expect: REP002
+    jitter = np.random.normal(0.0, 1.0)  # expect: REP002
+    base = random.randint(1, 10)  # expect: REP002
+    return [rng.random() + jitter + base for _ in range(count)], generator

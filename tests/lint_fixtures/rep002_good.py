@@ -1,0 +1,11 @@
+# reprolint: module=repro.trace.fixture
+"""Good: every RNG is constructed with an explicit seed."""
+import random
+
+import numpy as np
+
+
+def draw_sizes(count, seed):
+    rng = random.Random(seed)
+    generator = np.random.default_rng(seed)
+    return [rng.random() for _ in range(count)], generator.integers(10)

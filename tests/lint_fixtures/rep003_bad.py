@@ -1,0 +1,14 @@
+# reprolint: module=repro.obs.fixture
+"""Bad: accounting code iterating unordered views."""
+
+
+def merge_totals(shards):
+    totals = {}
+    for key in shards.keys():  # expect: REP003
+        totals[key] = shards[key]
+    seen = {1, 2, 3}
+    ordered = [value for value in seen]  # expect: REP003
+    labels = set(totals)
+    for label in labels:  # expect: REP003
+        totals[label] += 0
+    return totals, ordered

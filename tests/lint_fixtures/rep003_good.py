@@ -1,0 +1,11 @@
+# reprolint: module=repro.obs.fixture
+"""Good: every unordered view is pinned with sorted()."""
+
+
+def merge_totals(shards):
+    totals = {}
+    for key in sorted(shards.keys()):
+        totals[key] = shards[key]
+    seen = {1, 2, 3}
+    ordered = [value for value in sorted(seen)]
+    return totals, ordered

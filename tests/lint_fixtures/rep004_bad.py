@@ -1,0 +1,10 @@
+# reprolint: module=repro.cloud.fixture
+"""Bad: fresh entropy on every run."""
+import os
+import uuid
+
+
+def fresh_object_id():
+    token = os.urandom(8)  # expect: REP004
+    name = uuid.uuid4()  # expect: REP004
+    return f"{name}-{token.hex()}"

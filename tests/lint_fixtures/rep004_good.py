@@ -1,0 +1,6 @@
+# reprolint: module=repro.cloud.fixture
+"""Good: identifiers come from seeded RNGs and counters."""
+
+
+def fresh_object_id(rng, counter):
+    return f"obj-{counter:08d}-{rng.integers(1 << 32):08x}"

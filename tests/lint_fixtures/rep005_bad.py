@@ -1,0 +1,6 @@
+# reprolint: module=repro.content.fixture
+"""Bad: builtin hash() is salted per process (PYTHONHASHSEED)."""
+
+
+def chunk_key(data):
+    return hash(data) & 0xFFFF  # expect: REP005

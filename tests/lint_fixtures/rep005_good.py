@@ -1,0 +1,15 @@
+# reprolint: module=repro.content.fixture
+"""Good: hashlib for persisted keys; hash() only inside __hash__."""
+import hashlib
+
+
+class ChunkRef:
+    def __init__(self, digest):
+        self.digest = digest
+
+    def __hash__(self):
+        return hash(self.digest)
+
+
+def chunk_key(data):
+    return hashlib.sha256(data).hexdigest()[:16]

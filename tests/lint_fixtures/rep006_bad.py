@@ -1,0 +1,10 @@
+# reprolint: module=repro.client.fixture
+"""Bad: simulation behaviour keyed off the ambient environment."""
+import os
+import sys
+
+
+def pick_endpoint():
+    if os.environ.get("REPRO_ENDPOINT"):  # expect: REP006
+        return os.getenv("REPRO_ENDPOINT")  # expect: REP006
+    return sys.argv[1]  # expect: REP006

@@ -1,0 +1,6 @@
+# reprolint: module=repro.client.fixture
+"""Good: configuration is threaded through parameters."""
+
+
+def pick_endpoint(config):
+    return config.endpoint

@@ -1,0 +1,10 @@
+# reprolint: module=repro.simnet.fixture
+"""Bad: float arithmetic flowing back into byte counters."""
+
+
+def account(send, wire_bytes, scale):
+    traffic_bytes = wire_bytes * 1.5 / scale  # expect: REP010
+    payload = float(wire_bytes)  # expect: REP010
+    traffic_bytes /= 2  # expect: REP010
+    send(overhead_bytes=wire_bytes / 3)  # expect: REP010
+    return traffic_bytes, payload

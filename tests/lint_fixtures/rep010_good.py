@@ -1,0 +1,9 @@
+# reprolint: module=repro.simnet.fixture
+"""Good: integer-exact counters; floats only for derived ratios."""
+
+
+def account(send, wire_bytes, scale):
+    traffic_bytes = wire_bytes * 3 // (2 * scale)
+    efficiency = traffic_bytes / wire_bytes  # derived ratio, not a counter
+    send(overhead_bytes=int(wire_bytes * 1.5))
+    return traffic_bytes, efficiency

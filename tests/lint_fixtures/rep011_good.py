@@ -1,0 +1,6 @@
+# reprolint: module=repro.cloud.fixture
+"""Good: bytes go through the audited Channel path."""
+
+
+def send_bytes(channel, nbytes):
+    return channel.exchange(up_payload=nbytes, down_payload=0)

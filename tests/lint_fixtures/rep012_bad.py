@@ -1,0 +1,9 @@
+# reprolint: module=repro.core.fixture
+"""Bad: max(x, 1) masking zero-update denominators."""
+
+
+def tue(report, traffic, update):
+    safe = traffic / max(update, 1)  # expect: REP012
+    report(data_update_bytes=max(update, 1))  # expect: REP012
+    denominator = max(1, update)  # expect: REP012
+    return safe, denominator

@@ -1,0 +1,8 @@
+# reprolint: module=repro.core.fixture
+"""Good: the zero propagates and TUE reports inf/nan."""
+
+
+def tue(traffic, update):
+    if update <= 0:
+        return float("inf") if traffic > 0 else float("nan")
+    return traffic / update

@@ -1,0 +1,7 @@
+# reprolint: module=repro.simnet.protocol.fixture
+"""Bad: meter mutation with no recorder emit in the same function."""
+
+
+def unpaired_exchange(self, nbytes):
+    self.meter.record("up", nbytes, 0)  # expect: REP020
+    return nbytes

@@ -1,0 +1,9 @@
+# reprolint: module=repro.simnet.protocol.fixture
+"""Good: every meter mutation is paired with a span emit."""
+
+
+def paired_exchange(self, recorder, nbytes):
+    self.meter.record("up", nbytes, 0)
+    if recorder is not None:
+        recorder.record_span("exchange", up=nbytes, down=0)
+    return nbytes

@@ -1,0 +1,14 @@
+# reprolint: module=repro.client.fixture
+"""Bad: do-nothing handlers destroying failure evidence."""
+
+
+def drain(queue):
+    for item in queue:
+        try:
+            item.flush()
+        except FaultError:  # expect: REP021
+            pass
+        try:
+            item.close()
+        except Exception:  # expect: REP021
+            continue

@@ -1,0 +1,13 @@
+# reprolint: module=repro.client.fixture
+"""Good: narrow exception types, and what is caught is recorded."""
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def drain(queue):
+    for item in queue:
+        try:
+            item.flush()
+        except OSError as error:
+            log.warning("flush failed: %s", error)

@@ -1,0 +1,8 @@
+# reprolint: module=repro.simnet.fixture
+"""Bad: span kinds the conservation auditor does not understand."""
+
+
+def emit(recorder, nbytes):
+    recorder.record_span("wire-noise", up=nbytes, down=0)  # expect: REP022
+    recorder.record_span(kind="bogus", up=0, down=0)  # expect: REP022
+    recorder.record_span(MYSTERY_KIND, up=0, down=0)  # expect: REP022

@@ -1,0 +1,8 @@
+# reprolint: module=repro.simnet.fixture
+"""Good: span kinds come from repro.obs.recorder.SPAN_KINDS."""
+from repro.obs.recorder import EXCHANGE
+
+
+def emit(recorder, nbytes):
+    recorder.record_span("exchange", up=nbytes, down=0)
+    recorder.record_span(EXCHANGE, up=0, down=0)

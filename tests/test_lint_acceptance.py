@@ -1,0 +1,53 @@
+"""Acceptance checks from the issue: the real tree lints clean, and
+deliberately injected violations in copies of simnet/clock.py and
+simnet/meter.py are caught with the right rule ids."""
+
+import shutil
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import ALL_RULES, lint_paths, lint_source
+
+REPO = Path(__file__).parent.parent
+SRC = REPO / "src"
+
+
+def test_real_tree_is_clean_under_committed_baseline():
+    result = lint_paths([str(SRC)], ALL_RULES,
+                        baseline_path=str(REPO / "reprolint-baseline.json"))
+    assert result.ok, "\n".join(f.format() for f in result.findings)
+    assert result.stale == [], "baseline has stale entries"
+    # The committed baseline must stay small and justified.
+    assert result.baseline_applied <= 5
+
+
+def _copy_module(tmp_path, relative):
+    target = tmp_path / relative
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(SRC / relative, target)
+    return target
+
+
+def test_injected_wall_clock_in_clock_py_fails_rep001(tmp_path):
+    target = _copy_module(tmp_path, "repro/simnet/clock.py")
+    source = target.read_text(encoding="utf-8")
+    assert lint_source(source, str(target), ALL_RULES) == []
+    source += ("\nimport time\n\n\ndef wall_now():\n"
+               "    return time.time()\n")
+    target.write_text(source, encoding="utf-8")
+    findings = lint_source(source, str(target), ALL_RULES)
+    assert "REP001" in {f.rule for f in findings}
+    assert main(["lint", str(target)]) == 1
+
+
+def test_injected_float_cast_in_meter_py_fails_rep010(tmp_path):
+    target = _copy_module(tmp_path, "repro/simnet/meter.py")
+    source = target.read_text(encoding="utf-8")
+    assert lint_source(source, str(target), ALL_RULES) == []
+    source += ("\n\ndef leak(total_bytes):\n"
+               "    total_bytes = float(total_bytes)\n"
+               "    return total_bytes\n")
+    target.write_text(source, encoding="utf-8")
+    findings = lint_source(source, str(target), ALL_RULES)
+    assert "REP010" in {f.rule for f in findings}
+    assert main(["lint", str(target)]) == 1

@@ -1,0 +1,88 @@
+"""CLI behaviour of ``repro lint``: formats, exit codes, baseline modes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = "tests/lint_fixtures"
+
+
+@pytest.fixture()
+def violating_tree(tmp_path):
+    package = tmp_path / "src" / "repro" / "simnet"
+    package.mkdir(parents=True)
+    (package / "clocked.py").write_text(
+        "import time\n\n\ndef f():\n    return time.time()\n",
+        encoding="utf-8")
+    return tmp_path
+
+
+def test_lint_clean_tree_exits_zero(tmp_path, capsys):
+    package = tmp_path / "src" / "repro"
+    package.mkdir(parents=True)
+    (package / "ok.py").write_text("def f():\n    return 0\n",
+                                   encoding="utf-8")
+    assert main(["lint", str(tmp_path / "src")]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out and "ok" in out
+
+
+def test_lint_text_format_reports_findings(violating_tree, capsys):
+    assert main(["lint", str(violating_tree / "src")]) == 1
+    out = capsys.readouterr().out
+    assert "REP001" in out and "clocked.py:5" in out
+    assert "FAILED" in out
+    assert "hint:" in out
+
+
+def test_lint_json_format(violating_tree, capsys):
+    assert main(["lint", str(violating_tree / "src"),
+                 "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files"] == 1
+    assert [f["rule"] for f in payload["findings"]] == ["REP001"]
+    finding = payload["findings"][0]
+    assert finding["path"].endswith("clocked.py")
+    assert finding["line"] == 5 and finding["hint"]
+
+
+def test_lint_explicit_missing_baseline_exits_two(violating_tree, capsys):
+    code = main(["lint", str(violating_tree / "src"),
+                 "--baseline", str(violating_tree / "missing.json")])
+    assert code == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_lint_baseline_suppresses_and_reports_stale(violating_tree, capsys,
+                                                    tmp_path):
+    baseline = tmp_path / "b.json"
+    baseline.write_text(json.dumps({"version": 1, "entries": [
+        {"rule": "REP001", "path": "src/repro/simnet/clocked.py",
+         "comment": "known, tracked"},
+        {"rule": "REP002", "path": "src/repro/simnet/clocked.py",
+         "comment": "stale: nothing fires here"},
+    ]}), encoding="utf-8")
+    assert main(["lint", str(violating_tree / "src"),
+                 "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out and "1 stale" in out
+
+    # --fail-stale turns the stale warning into a failure (the CI step).
+    assert main(["lint", str(violating_tree / "src"),
+                 "--baseline", str(baseline), "--fail-stale"]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_lint_fixture_files_only_when_named_explicitly(capsys):
+    # Directory walks skip lint_fixtures/; naming a file lints it.
+    assert main(["lint", "tests"]) == 0
+    capsys.readouterr()
+    assert main(["lint", f"{FIXTURES}/rep001_bad.py"]) == 1
+    assert "REP001" in capsys.readouterr().out
+
+
+def test_lint_listed_in_cli_index(capsys):
+    assert main(["list"]) == 0
+    assert "lint" in capsys.readouterr().out

@@ -1,0 +1,199 @@
+"""Engine-level tests: module derivation, pragmas, baseline, meta errors."""
+
+import json
+import textwrap
+
+from repro.lint import (ALL_RULES, META_RULE, derive_module, lint_paths,
+                        lint_source, load_baseline)
+
+KNOWN_IDS = {rule.id for rule in ALL_RULES}
+
+
+def _lint(source, path="src/repro/simnet/fixture.py", module=None):
+    return lint_source(textwrap.dedent(source), path, ALL_RULES,
+                       module=module)
+
+
+# -- module derivation ------------------------------------------------------
+
+def test_derive_module_anchors_at_repro():
+    assert derive_module("src/repro/simnet/meter.py") == "repro.simnet.meter"
+    assert derive_module("/abs/src/repro/trace/replay.py") \
+        == "repro.trace.replay"
+
+
+def test_derive_module_handles_init_and_tests():
+    assert derive_module("src/repro/obs/__init__.py") == "repro.obs"
+    assert derive_module("tests/test_meter.py") == "tests.test_meter"
+    assert derive_module("scratch.py") == "scratch"
+
+
+# -- pragmas (satellite: same-line, file-level, unknown-id) -----------------
+
+def test_same_line_pragma_suppresses_only_that_line():
+    findings = _lint("""\
+        import time
+
+        def f():
+            a = time.time()  # reprolint: disable=REP001 deliberate
+            b = time.time()
+            return a, b
+        """)
+    assert [(f.rule, f.line) for f in findings] == [("REP001", 5)]
+
+
+def test_file_level_pragma_suppresses_whole_file():
+    findings = _lint("""\
+        # reprolint: disable-file=REP001
+        import time
+
+        def f():
+            return time.time(), time.time()
+        """)
+    assert findings == []
+
+
+def test_file_level_star_pragma_suppresses_everything_but_meta():
+    findings = _lint("""\
+        # reprolint: disable-file=*
+        import time, random
+
+        def f():
+            return time.time(), random.random()
+        """)
+    assert findings == []
+
+
+def test_unknown_rule_id_in_pragma_is_a_lint_error():
+    findings = _lint("""\
+        import time
+
+        def f():
+            return time.time()  # reprolint: disable=REP999
+        """)
+    rules = {f.rule for f in findings}
+    assert META_RULE in rules     # the bogus pragma itself
+    assert "REP001" in rules      # and it suppressed nothing
+
+
+def test_malformed_pragma_key_is_a_lint_error():
+    findings = _lint("def f():\n    return 1  # reprolint: disable\n")
+    assert [f.rule for f in findings] == [META_RULE]
+    assert "requires =VALUE" in findings[0].message
+
+
+def test_pragma_allows_trailing_justification_prose():
+    findings = _lint("""\
+        import time
+
+        def f():
+            return time.time()  # reprolint: disable=REP001 virtual clock unavailable here
+        """)
+    assert findings == []
+
+
+def test_meta_rule_cannot_be_suppressed():
+    findings = _lint(
+        "# reprolint: disable-file=*\n"
+        "x = 1  # reprolint: disable=REP999\n")
+    assert [f.rule for f in findings] == [META_RULE]
+
+
+def test_module_pragma_overrides_path_derivation():
+    source = "import time\n\ndef f():\n    return time.time()\n"
+    assert _lint(source, path="anywhere.py") == []  # out of scope
+    findings = _lint("# reprolint: module=repro.simnet.fake\n" + source,
+                     path="anywhere.py")
+    assert [f.rule for f in findings] == ["REP001"]
+
+
+def test_syntax_error_becomes_meta_finding():
+    findings = _lint("def f(:\n")
+    assert len(findings) == 1
+    assert findings[0].rule == META_RULE
+    assert "syntax error" in findings[0].message
+
+
+# -- baseline ---------------------------------------------------------------
+
+def _write_tree(tmp_path, violating=True):
+    package = tmp_path / "src" / "repro" / "simnet"
+    package.mkdir(parents=True)
+    body = ("import time\n\ndef f():\n    return time.time()\n"
+            if violating else "def f():\n    return 0\n")
+    (package / "fixture_mod.py").write_text(body, encoding="utf-8")
+    return tmp_path / "src"
+
+
+def _write_baseline(tmp_path, entries):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 1, "entries": entries}),
+                    encoding="utf-8")
+    return path
+
+
+def test_baseline_suppresses_matching_finding(tmp_path):
+    tree = _write_tree(tmp_path)
+    baseline = _write_baseline(tmp_path, [
+        {"rule": "REP001", "path": "src/repro/simnet/fixture_mod.py",
+         "comment": "legacy wall clock, tracked separately"}])
+    result = lint_paths([str(tree)], ALL_RULES, baseline_path=str(baseline))
+    assert result.ok
+    assert result.baseline_applied == 1
+    assert result.stale == []
+
+
+def test_baseline_path_suffix_matching(tmp_path):
+    # Committed baselines use repo-relative paths; lint may run on abs paths.
+    tree = _write_tree(tmp_path)
+    baseline = _write_baseline(tmp_path, [
+        {"rule": "REP001", "path": "repro/simnet/fixture_mod.py",
+         "comment": "suffix match"}])
+    result = lint_paths([str(tree)], ALL_RULES, baseline_path=str(baseline))
+    assert result.ok and result.baseline_applied == 1
+
+
+def test_baseline_entry_goes_stale_when_finding_disappears(tmp_path):
+    tree = _write_tree(tmp_path, violating=False)
+    baseline = _write_baseline(tmp_path, [
+        {"rule": "REP001", "path": "src/repro/simnet/fixture_mod.py",
+         "comment": "no longer needed"}])
+    result = lint_paths([str(tree)], ALL_RULES, baseline_path=str(baseline))
+    assert result.ok  # stale is reported, not a finding
+    assert len(result.stale) == 1
+    assert result.stale[0].rule == "REP001"
+
+
+def test_baseline_requires_justification_comment(tmp_path):
+    baseline = _write_baseline(tmp_path, [
+        {"rule": "REP001", "path": "src/x.py", "comment": "   "}])
+    entries, errors = load_baseline(str(baseline), KNOWN_IDS)
+    assert entries == []
+    assert len(errors) == 1 and errors[0].rule == META_RULE
+    assert "justification" in errors[0].message
+
+
+def test_baseline_rejects_unknown_rule(tmp_path):
+    baseline = _write_baseline(tmp_path, [
+        {"rule": "REP999", "path": "src/x.py", "comment": "??"}])
+    entries, errors = load_baseline(str(baseline), KNOWN_IDS)
+    assert entries == [] and errors[0].rule == META_RULE
+
+
+def test_baseline_never_hides_meta_findings(tmp_path):
+    package = tmp_path / "src" / "repro"
+    package.mkdir(parents=True)
+    (package / "broken.py").write_text("def f(:\n", encoding="utf-8")
+    baseline = _write_baseline(tmp_path, [
+        {"rule": "REP000", "path": "src/repro/broken.py",
+         "comment": "trying to hide a syntax error"}])
+    entries, errors = load_baseline(str(baseline), KNOWN_IDS)
+    assert entries == [] and errors  # REP000 is not a known (baselinable) id
+    result = lint_paths([str(tmp_path / "src")], ALL_RULES,
+                        baseline_path=str(baseline))
+    assert not result.ok
+
+
+def test_missing_baseline_file_is_an_error(tmp_path):
+    entries, errors = load_baseline(str(tmp_path / "nope.json"), KNOWN_IDS)
+    assert entries == [] and errors[0].rule == META_RULE
