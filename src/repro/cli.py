@@ -48,6 +48,7 @@ def cmd_list(_args) -> int:
         ["findings", "verify every Table 5 finding live"],
         ["upgrades", "savings from retrofitting each recommendation"],
         ["overuse", "per-user traffic-overuse statistic ([36])"],
+        ["fleet", "shared-folder fleet: N writers, fan-out amplification"],
         ["audit", "run an experiment under the byte-conservation auditor"],
         ["trace-run", "record an experiment's wire-level span trace (JSONL)"],
         ["lint", "reprolint: static determinism/conservation invariants"],
@@ -219,6 +220,60 @@ def cmd_overuse(args) -> int:
     print(render_table(
         ["Service", "Users losing >10% of traffic to modification overuse"],
         rows, title=f"Traffic overuse across the trace (scale {args.scale:g})"))
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    from .core import run_collaboration
+    from .fleet import Fleet, schedule_writer_workload
+    from .obs import AuditViolation, TraceHub, recording
+    from .simnet import bj_link, mn_link
+
+    link = bj_link() if args.link == "bj" else mn_link()
+    writers = min(args.writers, args.clients)
+    hub = TraceHub()
+    try:
+        with recording(hub=hub, jsonl=args.trace):
+            fleet = Fleet(args.service, access=args.access,
+                          clients=args.clients, link_spec=link,
+                          seed=args.seed)
+            schedule_writer_workload(fleet, writers=writers,
+                                     files_per_writer=args.files,
+                                     file_size=args.size, seed=args.seed)
+            fleet.run_until_idle()
+            if args.audit:
+                fleet.audit()
+    except AuditViolation as violation:
+        print(f"AUDIT FAILED: {violation}")
+        return 1
+    report = fleet.report()
+    rows = [
+        [member.name, "yes" if member.live else "left",
+         size_cell(int(member.traffic.total)),
+         size_cell(int(member.traffic.data_update_size)),
+         fmt_tue(member.tue), str(member.notifications),
+         str(member.fanout_fetches), str(member.conflicts)]
+        for member in report.members
+    ]
+    print(render_table(
+        ["Member", "Live", "Traffic", "Update", "TUE", "Notifs", "Fetches",
+         "Conflicts"], rows,
+        title=f"Fleet — {report.service}, {report.clients} clients, "
+              f"{writers} writer(s), seed {args.seed}"))
+    # Amplification is normalised against the same workload driven by a
+    # single solo writer (no fan-out targets).
+    baseline = run_collaboration(args.service, access=args.access, writers=1,
+                                 clients=1, files_per_writer=args.files,
+                                 file_size=args.size, seed=args.seed,
+                                 link_spec=link)
+    print(f"fleet TUE {fmt_tue(report.tue)} over "
+          f"{report.commit_epochs} commit epoch(s); amplification "
+          f"{fmt_tue(report.amplification(baseline))}x vs a solo writer")
+    if args.trace:
+        print(f"span trace written to {args.trace}")
+    if args.audit:
+        print(f"conservation + fan-out audit passed: {hub.span_count} spans "
+              f"across {len(hub.recorders)} session(s), 0 violations")
     return 0
 
 
@@ -441,6 +496,17 @@ def build_parser() -> argparse.ArgumentParser:
         **{"--scale": dict(type=float, default=0.1)})
     add("upgrades", cmd_upgrades,
         **{"--services": dict(nargs="+", default=list(SERVICES))})
+    add("fleet", cmd_fleet,
+        **{"--service": dict(default="GoogleDrive"),
+           "--access": dict(type=_access, default=AccessMethod.PC),
+           "--clients": dict(type=int, default=4),
+           "--writers": dict(type=int, default=2),
+           "--seed": dict(type=int, default=0),
+           "--files": dict(type=int, default=2),
+           "--size": dict(type=int, default=64 * KB),
+           "--link": dict(choices=("mn", "bj"), default="mn"),
+           "--trace": dict(default=None),
+           "--audit": dict(action="store_true")})
     add("overuse", cmd_overuse,
         **{"--scale": dict(type=float, default=0.03),
            "--seed": dict(type=int, default=42),

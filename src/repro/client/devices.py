@@ -149,7 +149,8 @@ class MirrorDevice:
         except NotFound:
             # Tombstoned before we fetched: mirror the deletion.
             self.files.pop(path, None)
-            self.versions[path] = version
+            self.versions[path] = max(
+                version, self.server.head_version(self.user, path))
             self.channel.exchange(up_meta=200, down_meta=150, kind="delete-sync")
             return
         new_content = Content(data)
@@ -179,7 +180,15 @@ class MirrorDevice:
         self._busy_until = self.sim.now + duration \
             + self.machine.metadata_compute_time(new_content.size)
         self.files[path] = new_content
-        self.versions[path] = version
+        # download() delivered the server's *head*, which may already be
+        # newer than the notification that triggered this fetch (two commits
+        # inside one notification delay).  Recording only the notification's
+        # version would re-download identical content on the next fetch;
+        # recording the head version suppresses it without ever skipping
+        # newer content — a commit after this download has a higher version
+        # and its own notification in flight.
+        self.versions[path] = max(
+            version, self.server.head_version(self.user, path))
         self.stats.downloads += 1
         self.stats.bytes_downloaded += wire
 
@@ -195,6 +204,11 @@ class MirrorDevice:
     @property
     def total_traffic(self) -> int:
         return self.meter.total_bytes
+
+
+#: The paper's "other devices" are followers of the user's commits; the
+#: fleet layer and newer tests use this name for the same class.
+DeviceFollower = MirrorDevice
 
 
 class DeviceFleet:

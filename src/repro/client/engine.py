@@ -264,6 +264,46 @@ class SyncClient:
         """True when nothing is pending, uploading, or scheduled."""
         return not self._pending and not self._uploading
 
+    # -- remote-change application (shared folders) ---------------------------
+    #
+    # A fleet follower applies changes that *other* writers committed.  The
+    # folder mutation itself goes through SyncFolder.apply_remote() and
+    # friends (no event, no echo upload); these methods keep the engine's
+    # synced basis — shadow and signature cache — consistent with it.
+
+    def has_pending(self, path: str) -> bool:
+        """True when the path has local changes not yet synced up."""
+        return path in self._pending
+
+    def pending_paths(self) -> List[str]:
+        """Paths with unsynced local changes, in sorted order."""
+        return sorted(self._pending)
+
+    def discard_pending(self, path: str) -> None:
+        """Forget a path's pending local state (its changes were moved to a
+        conflict copy, whose own folder event re-queues them)."""
+        self._pending.pop(path, None)
+        self._defer_states.pop(path, None)
+        self._ready_at.pop(path, None)
+
+    def absorb_remote(self, path: str, content: Content) -> None:
+        """Adopt remotely-delivered content as the path's synced basis."""
+        self._shadow[path] = content
+        self._signature_cache.pop(path, None)
+
+    def drop_remote(self, path: str) -> None:
+        """Forget a path the cloud deleted from under us."""
+        self._shadow.pop(path, None)
+        self._signature_cache.pop(path, None)
+
+    def move_remote(self, old_path: str, new_path: str) -> None:
+        """Apply a remote rename to the synced basis (content unchanged)."""
+        if old_path in self._shadow:
+            self._shadow[new_path] = self._shadow.pop(old_path)
+        cached = self._signature_cache.pop(old_path, None)
+        if cached is not None:
+            self._signature_cache[new_path] = cached
+
     # -- sync transactions ------------------------------------------------------
 
     def _sync_batch(self, changes: List[PendingChange]) -> float:

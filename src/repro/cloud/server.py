@@ -256,6 +256,20 @@ class CloudServer:
             raise IntegrityError(f"{user}:{path} failed reassembly digest check")
         return data
 
+    def head_version(self, user: str, path: str) -> int:
+        """Version number of the path's newest metadata entry.
+
+        Tombstones count (a deletion *is* a newer version for notification
+        ordering); a never-committed path is version 0.  Followers use this
+        to suppress re-downloads: a fetch that already delivered head
+        version v satisfies every notification for versions <= v.
+        """
+        try:
+            entry = self.metadata.get_entry(user, path)
+        except NotFound:
+            return 0
+        return entry.head.version
+
     def delete_file(self, user: str, path: str) -> FileVersion:
         """Fake deletion: tombstone the path, retain every stored version."""
         head = self.metadata.head(user, path)

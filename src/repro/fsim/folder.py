@@ -161,6 +161,30 @@ class SyncFolder:
         return event
 
 
+    # -- remote application ---------------------------------------------------
+    #
+    # A download arriving from the cloud mutates the folder too, but it is
+    # not a *local* update: it must neither wake the sync engine (it would
+    # echo straight back up the wire) nor count into the data-update-size
+    # denominator of TUE.  These applications therefore bypass _emit().
+
+    def apply_remote(self, path: str, content: Content) -> None:
+        """Install content delivered by the cloud without emitting an event."""
+        self._files[path] = content
+
+    def remove_remote(self, path: str) -> None:
+        """Apply a remote deletion silently; missing paths are tolerated
+        because a remote delete can race a local one."""
+        self._files.pop(path, None)
+
+    def rename_remote(self, old_path: str, new_path: str) -> None:
+        """Apply a remote rename silently (content unchanged)."""
+        content = self._files.pop(old_path, None)
+        if content is None:
+            raise MissingFileError(old_path)
+        self._files[new_path] = content
+
+
 def _altered_bytes(old: Content, new: Content) -> int:
     """Size of the altered region — the paper's *data update size*.
 

@@ -23,8 +23,10 @@ role, and this package is the instrument that makes it trustworthy:
 from .audit import (
     AuditViolation,
     ConservationAuditor,
+    audit_fleet_fanout,
     audit_hub,
     audit_replay_report,
+    verify_fleet_fanout,
     verify_replay_merge,
     verify_replay_report,
 )
@@ -66,12 +68,14 @@ __all__ = [
     "TraceHub",
     "TraceRecorder",
     "WIRE_KINDS",
+    "audit_fleet_fanout",
     "audit_hub",
     "audit_replay_report",
     "current_hub",
     "load_jsonl",
     "recording",
     "session_recorder",
+    "verify_fleet_fanout",
     "verify_replay_merge",
     "verify_replay_report",
 ]

@@ -394,3 +394,78 @@ def verify_replay_merge(parts: List[Any], merged: Any) -> List[AuditViolation]:
         check(summed == getattr(merged, dict_name),
               f"per-user dict {dict_name} does not merge additively")
     return out
+
+
+# -- fleet fan-out conservation -------------------------------------------
+
+def verify_fleet_fanout(ledger: List[Any],
+                        recorders: List[TraceRecorder]) -> List[AuditViolation]:
+    """Balance each commit epoch's server-side push against follower intake.
+
+    The shared-folder hub's ledger records, per epoch, the bytes the server
+    pushed down (notification frames plus every follower fetch, successful
+    or not); followers record the same bytes as ``down_bytes`` attributes
+    on their ``fanout-notification`` spans.  Per epoch:
+
+    * server ``pushed_bytes`` == Σ follower span ``down_bytes``;
+    * exactly the epoch's ``targets`` were notified, the origin never.
+
+    Backfill downloads (epoch < 0) move real bytes outside any commit
+    epoch and are exempt by construction.
+    """
+    out: List[AuditViolation] = []
+    by_epoch_bytes: dict = {}
+    by_epoch_notified: dict = {}
+    for recorder in recorders:
+        for span in recorder.spans:
+            if span.kind != "fanout-notification":
+                continue
+            epoch = span.attrs.get("epoch")
+            if epoch is None:
+                out.append(AuditViolation(
+                    "fanout-conservation",
+                    f"fanout-notification span {span.name!r} carries no "
+                    f"epoch attribute", span=span, session=recorder.label))
+                continue
+            if epoch < 0:
+                continue  # join-time backfill: no commit epoch to balance
+            if epoch >= len(ledger):
+                out.append(AuditViolation(
+                    "fanout-conservation",
+                    f"span references unknown epoch {epoch} "
+                    f"(ledger holds {len(ledger)})",
+                    span=span, session=recorder.label))
+                continue
+            by_epoch_bytes[epoch] = (by_epoch_bytes.get(epoch, 0)
+                                     + int(span.attrs.get("down_bytes", 0)))
+            if span.name == "notify":
+                by_epoch_notified.setdefault(epoch, []).append(
+                    span.attrs.get("member"))
+    for entry in ledger:
+        notified = by_epoch_notified.get(entry.epoch, [])
+        if sorted(notified) != sorted(entry.targets):
+            out.append(AuditViolation(
+                "fanout-conservation",
+                f"epoch {entry.epoch} targeted {sorted(entry.targets)} but "
+                f"notified {sorted(notified)}"))
+        if entry.origin in notified:
+            out.append(AuditViolation(
+                "fanout-conservation",
+                f"epoch {entry.epoch} origin {entry.origin!r} received its "
+                f"own notification (self-echo)"))
+        received = by_epoch_bytes.get(entry.epoch, 0)
+        if received != entry.pushed_bytes:
+            out.append(AuditViolation(
+                "fanout-conservation",
+                f"epoch {entry.epoch} ({entry.kind} {entry.path!r} by "
+                f"{entry.origin}): server pushed {entry.pushed_bytes} bytes "
+                f"but followers received {received}"))
+    return out
+
+
+def audit_fleet_fanout(ledger: List[Any],
+                       recorders: List[TraceRecorder]) -> None:
+    """Raise the first fan-out conservation violation, if any."""
+    violations = verify_fleet_fanout(ledger, recorders)
+    if violations:
+        raise violations[0]

@@ -40,11 +40,13 @@ DEDUP_HIT = "dedup-hit"
 FAULT_EPISODE = "fault-episode"
 SYNC_TRANSACTION = "sync-transaction"
 METER_RESET = "meter-reset"
+CONFLICT_RESOLVED = "conflict-resolved"
+FANOUT_NOTIFICATION = "fanout-notification"
 
 WIRE_KINDS = frozenset({CONNECT, EXCHANGE})
 SPAN_KINDS = WIRE_KINDS | frozenset({
     RETRY_ATTEMPT, DEFER_WINDOW, DEDUP_HIT, FAULT_EPISODE,
-    SYNC_TRANSACTION, METER_RESET,
+    SYNC_TRANSACTION, METER_RESET, CONFLICT_RESOLVED, FANOUT_NOTIFICATION,
 })
 
 

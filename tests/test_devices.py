@@ -110,3 +110,55 @@ def test_commit_feed_isolates_users():
     key = server.upload_chunk("alice", digest, digest_content.data)
     server.commit("alice", "p", 10, digest_content.md5, [digest], [key], [10])
     assert len(seen) == 1 and seen[0].path == "p"
+
+
+def test_two_commits_within_one_notification_delay():
+    """Regression: a download that already delivered the head must suppress
+    the second notification's re-fetch — without ever skipping content.
+
+    Two commits land inside one notification delay, so the first fetch
+    already downloads the *second* commit's bytes.  The device used to
+    record only the first notification's version and re-download identical
+    content when the second notification fired; it must now record the head
+    version it actually received and download exactly once.
+    """
+    from repro.chunking import fingerprint
+
+    fleet = make_fleet("GoogleDrive")
+    mirror = fleet.mirrors[0]
+    server = fleet.primary.server  # commit feed already attached
+    first = random_content(32 * KB, seed=1)
+    second = random_content(32 * KB, seed=2)
+
+    def commit(content):
+        digest = fingerprint(content.data)
+        key = server.upload_chunk("user1", digest, content.data)
+        server.commit("user1", "f.bin", content.size, content.md5,
+                      [digest], [key], [content.size])
+
+    # Versions 1 and 2 land at the same sim instant — strictly inside one
+    # notification delay — so both fetches race one download.
+    commit(first)
+    commit(second)
+    fleet.run_until_idle()
+
+    # The second commit's content was never skipped...
+    assert mirror.files["f.bin"].data == second.data
+    # ...and the identical head was not downloaded twice.
+    assert mirror.stats.downloads == 1
+    assert mirror.versions["f.bin"] == 2
+
+
+def test_notified_version_still_downloads_after_suppression():
+    """A commit *after* a suppressing download must still be fetched."""
+    fleet = make_fleet("GoogleDrive")
+    mirror = fleet.mirrors[0]
+    fleet.primary.create_file("f.bin", random_content(16 * KB, seed=1))
+    fleet.primary.write_file("f.bin", random_content(16 * KB, seed=2))
+    fleet.run_until_idle()
+    downloads = mirror.stats.downloads
+    third = random_content(16 * KB, seed=3)
+    fleet.primary.write_file("f.bin", third)
+    fleet.run_until_idle()
+    assert mirror.files["f.bin"].data == third.data
+    assert mirror.stats.downloads == downloads + 1

@@ -1,0 +1,341 @@
+"""Fleet-scale shared-folder simulation: convergence, determinism, fan-out.
+
+The fleet layer's contract is threefold: every run is a pure function of
+its seed (byte-identical reruns), all live members converge to identical
+folder state, and every byte the server pushes during fan-out is balanced
+by follower-side span evidence (the ``fanout-conservation`` invariant).
+"""
+
+import math
+
+import pytest
+
+from repro.content import random_content
+from repro.fleet import (
+    EPOCH_BACKFILL,
+    Fleet,
+    conflict_copy_name,
+    fleet_tue,
+    schedule_writer_workload,
+)
+from repro.obs import verify_fleet_fanout
+from repro.simnet import FaultSchedule
+from repro.units import KB
+
+
+def small_fleet(service="GoogleDrive", clients=3, seed=7, **kwargs):
+    fleet = Fleet(service, clients=clients, seed=seed, record=True, **kwargs)
+    schedule_writer_workload(fleet, writers=min(2, clients),
+                             file_size=16 * KB, seed=seed)
+    return fleet
+
+
+# -- conflict-copy naming ---------------------------------------------------
+
+def test_conflict_copy_name_preserves_extension():
+    assert conflict_copy_name("w0/doc.bin", "client2", lambda p: False) \
+        == "w0/doc (conflicted copy of client2).bin"
+
+
+def test_conflict_copy_name_without_extension():
+    assert conflict_copy_name("notes", "client1", lambda p: False) \
+        == "notes (conflicted copy of client1)"
+
+
+def test_conflict_copy_name_counters_on_collision():
+    taken = {"doc (conflicted copy of c0).txt",
+             "doc (conflicted copy of c0) 2.txt"}
+    assert conflict_copy_name("doc.txt", "c0", taken.__contains__) \
+        == "doc (conflicted copy of c0) 3.txt"
+
+
+# -- fleet_tue conventions --------------------------------------------------
+
+def test_fleet_tue_conventions():
+    assert fleet_tue(100, 50) == 2.0
+    assert math.isinf(fleet_tue(100, 0))
+    assert math.isnan(fleet_tue(0, 0))
+
+
+# -- convergence ------------------------------------------------------------
+
+def test_fleet_converges_and_audits_clean():
+    fleet = small_fleet()
+    fleet.run_until_idle()
+    assert fleet.converged()
+    fleet.audit()
+    report = fleet.report()
+    assert report.commit_epochs == 4  # 2 writers x 2 files
+    assert report.conflicts == 0
+    # Followers moved real bytes: fan-out is not free.
+    assert report.fanout_pushed_bytes > 0
+
+
+def test_followers_receive_content():
+    fleet = small_fleet(clients=4)
+    fleet.run_until_idle()
+    follower = fleet.members[3]  # never wrote anything
+    assert follower.data_update_bytes == 0
+    assert sorted(follower.folder.paths()) == sorted(
+        fleet.members[0].folder.paths())
+    assert follower.stats.fanout_fetches == 4
+    # A pure follower has traffic but no local updates: TUE is inf.
+    traffic = follower.traffic_report()
+    assert math.isinf(fleet_tue(int(traffic.total),
+                                int(traffic.data_update_size)))
+
+
+def test_fleet_tue_exceeds_solo_tue():
+    solo = Fleet("GoogleDrive", clients=1, seed=7)
+    schedule_writer_workload(solo, writers=1, file_size=16 * KB, seed=7)
+    solo.run_until_idle()
+    shared = Fleet("GoogleDrive", clients=4, seed=7)
+    schedule_writer_workload(shared, writers=1, file_size=16 * KB, seed=7)
+    shared.run_until_idle()
+    assert shared.report().tue > solo.report().tue
+
+
+# -- determinism ------------------------------------------------------------
+
+def fingerprint(fleet):
+    report = fleet.report()
+    return (report.traffic_bytes, report.update_bytes,
+            report.fanout_pushed_bytes, report.commit_epochs,
+            tuple((m.name, int(m.traffic.total), m.notifications,
+                   m.fanout_fetches) for m in report.members))
+
+
+def test_rerun_is_byte_identical():
+    prints = []
+    for _ in range(2):
+        fleet = small_fleet(clients=4)
+        fleet.run_until_idle()
+        prints.append(fingerprint(fleet))
+    assert prints[0] == prints[1]
+
+
+def test_rerun_under_faults_is_byte_identical():
+    prints = []
+    for _ in range(2):
+        schedule = FaultSchedule.generate(
+            seed=5, horizon=300.0, mean_interval=40.0, mean_duration=4.0)
+        fleet = Fleet("OneDrive", clients=3, seed=9, faults=schedule,
+                      record=True)
+        schedule_writer_workload(fleet, writers=2, file_size=16 * KB, seed=9)
+        fleet.run_until_idle()
+        assert fleet.converged()
+        fleet.audit()
+        prints.append(fingerprint(fleet))
+    assert prints[0] == prints[1]
+
+
+# -- conflicts --------------------------------------------------------------
+
+def test_write_write_race_yields_conflict_copy():
+    # OneDrive defers ~10.5 s: client1's write is still pending when
+    # client0's commit fans out, forcing the write-write branch.
+    fleet = Fleet("OneDrive", clients=3, seed=3, record=True)
+    fleet.sim.schedule_at(1.0, fleet.members[0].folder.create, "doc.txt",
+                          random_content(4 * KB, seed=1))
+    fleet.sim.schedule_at(9.0, fleet.members[1].folder.create, "doc.txt",
+                          random_content(4 * KB, seed=2))
+    fleet.run_until_idle()
+    assert fleet.converged()
+    fleet.audit()
+    report = fleet.report()
+    assert report.conflicts == 1
+    paths = sorted(fleet.members[0].folder.paths())
+    assert paths == ["doc (conflicted copy of client1).txt", "doc.txt"]
+    # Both versions survived: nobody's bytes were dropped.
+    contents = {fleet.members[0].folder.get(path).md5 for path in paths}
+    assert len(contents) == 2
+
+
+def test_lww_when_both_commits_land():
+    # No deferment pressure: both writers commit before fan-out applies, so
+    # metadata is last-writer-wins and no conflict copy appears.
+    fleet = Fleet("Dropbox", clients=2, seed=3, record=True)
+    fleet.sim.schedule_at(1.0, fleet.members[0].folder.create, "doc.txt",
+                          random_content(4 * KB, seed=1))
+    fleet.sim.schedule_at(1.05, fleet.members[1].folder.create, "doc.txt",
+                          random_content(4 * KB, seed=2))
+    fleet.run_until_idle()
+    assert fleet.converged()
+    fleet.audit()
+    assert fleet.report().conflicts == 0
+    assert fleet.members[0].folder.paths() == ["doc.txt"]
+
+
+def converged_pair(service="OneDrive"):
+    """Two members with a synced 8 KB ``a.bin`` (defer window ≈ 10.5 s)."""
+    fleet = Fleet(service, clients=2, seed=0, record=True)
+    fleet.sim.schedule_at(1.0, fleet.members[0].folder.create, "a.bin",
+                          random_content(8 * KB, seed=1))
+    fleet.run_until_idle()
+    assert fleet.converged()
+    return fleet
+
+
+def test_remote_delete_under_pending_edit_edit_wins():
+    # client0's delete commits while client1's edit is still deferred: the
+    # edit wins, re-commits, and the file survives fleet-wide.
+    fleet = converged_pair()
+    m0, m1 = fleet.members
+    fleet.sim.schedule_at(fleet.sim.now + 1.0, m0.folder.delete, "a.bin")
+    fleet.sim.schedule_at(fleet.sim.now + 6.0, m1.folder.write, "a.bin",
+                          random_content(8 * KB, seed=2))
+    fleet.run_until_idle()
+    assert fleet.converged()
+    fleet.audit()
+    assert fleet.report().conflicts == 1
+    assert m1.stats.conflicts == 1
+    assert sorted(m0.folder.paths()) == ["a.bin"]
+
+
+def test_remote_write_under_pending_delete_write_wins():
+    # client1's local delete never reached the cloud when client0's write
+    # fans out: the write wins, the pending delete is discarded.
+    fleet = converged_pair()
+    m0, m1 = fleet.members
+    fleet.sim.schedule_at(fleet.sim.now + 1.0, m0.folder.write, "a.bin",
+                          random_content(8 * KB, seed=3))
+    fleet.sim.schedule_at(fleet.sim.now + 6.0, m1.folder.delete, "a.bin")
+    fleet.run_until_idle()
+    assert fleet.converged()
+    fleet.audit()
+    assert fleet.report().conflicts == 1
+    assert sorted(m1.folder.paths()) == ["a.bin"]
+
+
+def test_remote_rename_under_pending_edit_makes_conflict_copy():
+    # client0 renames a→b while client1's edit of a is still deferred: the
+    # edit moves to a conflict copy, the rename applies cleanly.
+    fleet = converged_pair()
+    m0, m1 = fleet.members
+    fleet.sim.schedule_at(fleet.sim.now + 1.0, m0.folder.rename,
+                          "a.bin", "b.bin")
+    fleet.sim.schedule_at(fleet.sim.now + 6.0, m1.folder.write, "a.bin",
+                          random_content(8 * KB, seed=4))
+    fleet.run_until_idle()
+    assert fleet.converged()
+    fleet.audit()
+    assert fleet.report().conflicts == 1
+    assert sorted(m0.folder.paths()) == [
+        "a (conflicted copy of client1).bin", "b.bin"]
+
+
+# -- deletes and renames ----------------------------------------------------
+
+def test_remote_delete_propagates():
+    fleet = Fleet("GoogleDrive", clients=3, seed=1, record=True)
+    fleet.sim.schedule_at(1.0, fleet.members[0].folder.create, "a.bin",
+                          random_content(8 * KB, seed=1))
+    fleet.sim.schedule_at(40.0, fleet.members[0].folder.delete, "a.bin")
+    fleet.run_until_idle()
+    assert fleet.converged()
+    fleet.audit()
+    assert fleet.members[1].folder.paths() == []
+
+
+def test_remote_rename_is_metadata_only_when_content_matches():
+    fleet = Fleet("GoogleDrive", clients=3, seed=1, record=True)
+    fleet.sim.schedule_at(1.0, fleet.members[0].folder.create, "a.bin",
+                          random_content(64 * KB, seed=1))
+    fleet.sim.schedule_at(40.0, fleet.members[0].folder.rename,
+                          "a.bin", "b.bin")
+    fleet.run_until_idle()
+    assert fleet.converged()
+    fleet.audit()
+    follower = fleet.members[1]
+    assert follower.folder.paths() == ["b.bin"]
+    assert follower.stats.fanout_renames == 1
+    # The rename crossed the wire as metadata, not a re-download.
+    assert follower.stats.fanout_fetches == 2  # create + rename epoch
+
+
+# -- churn ------------------------------------------------------------------
+
+def test_join_backfills_current_state():
+    fleet = Fleet("GoogleDrive", clients=2, seed=11, record=True)
+    schedule_writer_workload(fleet, writers=2, spacing=30.0,
+                             file_size=16 * KB, seed=11)
+    fleet.sim.schedule_at(45.0, fleet.join)
+    fleet.run_until_idle()
+    assert fleet.converged()
+    fleet.audit()
+    joiner = fleet.members[2]
+    assert joiner.stats.backfilled > 0
+    assert sorted(joiner.folder.paths()) == sorted(
+        fleet.members[0].folder.paths())
+
+
+def test_leave_stops_fanout_to_member():
+    fleet = Fleet("GoogleDrive", clients=3, seed=11, record=True)
+    schedule_writer_workload(fleet, writers=2, spacing=30.0,
+                             file_size=16 * KB, seed=11)
+    fleet.sim.schedule_at(45.0, fleet.members[2].leave)
+    fleet.run_until_idle()
+    assert fleet.converged()  # only over live members
+    fleet.audit()
+    leaver = fleet.members[2]
+    assert not leaver.live
+    # Commits after t=45 never targeted the departed member.
+    late = [entry for entry in fleet.hub.ledger if entry.committed_at > 45.0]
+    assert late and all("client2" not in entry.targets for entry in late)
+
+
+# -- fan-out invariant violations are detected ------------------------------
+
+def test_fanout_audit_catches_byte_imbalance():
+    fleet = small_fleet()
+    fleet.run_until_idle()
+    fleet.hub.ledger[0].pushed_bytes += 1
+    recorders = [member.recorder for member in fleet.members]
+    violations = verify_fleet_fanout(fleet.hub.ledger, recorders)
+    assert violations
+    assert violations[0].invariant == "fanout-conservation"
+    assert "pushed" in str(violations[0])
+
+
+def test_fanout_audit_catches_missing_notification():
+    fleet = small_fleet()
+    fleet.run_until_idle()
+    entry = fleet.hub.ledger[0]
+    entry.targets = entry.targets + ("ghost",)
+    recorders = [member.recorder for member in fleet.members]
+    violations = verify_fleet_fanout(fleet.hub.ledger, recorders)
+    assert any("targeted" in str(violation) for violation in violations)
+
+
+def test_backfill_epoch_is_exempt_from_fanout_balance():
+    assert EPOCH_BACKFILL < 0
+    fleet = Fleet("GoogleDrive", clients=2, seed=11, record=True)
+    schedule_writer_workload(fleet, writers=1, spacing=30.0,
+                             file_size=16 * KB, seed=11)
+    fleet.sim.schedule_at(45.0, fleet.join)
+    fleet.run_until_idle()
+    # Backfill moved bytes outside any epoch; the audit must stay clean.
+    fleet.audit()
+
+
+# -- scale (slow tier) ------------------------------------------------------
+
+@pytest.mark.slow
+def test_large_fleet_converges_deterministically():
+    """200 concurrent clients through one event queue, twice, identically."""
+    prints = []
+    for _ in range(2):
+        fleet = Fleet("GoogleDrive", clients=200, seed=17)
+        schedule_writer_workload(fleet, writers=4, file_size=8 * KB, seed=17)
+        fleet.run_until_idle()
+        assert fleet.converged()
+        prints.append(fingerprint(fleet))
+    assert prints[0] == prints[1]
+
+
+# -- workload guard ---------------------------------------------------------
+
+def test_workload_rejects_too_many_writers():
+    fleet = Fleet("GoogleDrive", clients=2, seed=0)
+    with pytest.raises(ValueError):
+        schedule_writer_workload(fleet, writers=3)

@@ -1,0 +1,91 @@
+"""Property-based fleet tests: random multi-writer interleavings converge.
+
+Whatever interleaving of writes, renames, deletes, joins, and leaves 2–4
+concurrent writers throw at one shared folder, after the simulation drains:
+
+* every live member holds the identical folder state (path → bytes);
+* the six byte-conservation invariants hold on every member's recorder;
+* the fan-out invariant holds: per commit epoch, server bytes pushed equal
+  the sum of follower bytes received.
+
+Operations are generated blind (they may target missing paths or departed
+members); each scheduled op checks applicability at its own fire time, so
+the *interleaving* — not the generator — decides what races occur.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.content import random_content
+from repro.fleet import Fleet
+from repro.units import KB
+
+PATHS = ("a.bin", "b.bin", "c.bin")
+SERVICES = ("GoogleDrive", "Dropbox")
+
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "rename", "delete", "join", "leave"]),
+        st.integers(min_value=0, max_value=3),     # acting member index
+        st.sampled_from(PATHS),
+        st.integers(min_value=1, max_value=24),    # size in KB / spacing
+    ),
+    min_size=1, max_size=14,
+)
+
+
+def schedule_ops(fleet, ops):
+    """Schedule each op at a staggered time; applicability is checked when
+    the op fires, so races come from the interleaving itself."""
+
+    def fire(op, member_index, path, arg, index):
+        members = fleet.members
+        member = members[member_index % len(members)]
+        if op == "join":
+            if len(members) < 6:
+                fleet.join()
+            return
+        if not member.live:
+            return
+        if op == "leave":
+            # Never drop below one live member; index 0 stays for good
+            # measure so convergence always has a reference.
+            if member_index % len(members) != 0 \
+                    and len(fleet.live_members()) > 1:
+                member.leave()
+        elif op == "write":
+            if member.folder.exists(path):
+                member.folder.write(path,
+                                    random_content(arg * KB, seed=index))
+            else:
+                member.folder.create(path,
+                                     random_content(arg * KB, seed=index))
+        elif op == "delete":
+            if member.folder.exists(path):
+                member.folder.delete(path)
+        elif op == "rename":
+            target = PATHS[(PATHS.index(path) + 1) % len(PATHS)]
+            if member.folder.exists(path) \
+                    and not member.folder.exists(target):
+                member.folder.rename(path, target)
+
+    for index, (op, member_index, path, arg) in enumerate(ops):
+        fleet.sim.schedule_at(1.0 + index * float(arg),
+                              fire, op, member_index, path, arg, index)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(service=st.sampled_from(SERVICES),
+       writers=st.integers(min_value=2, max_value=4),
+       seed=st.integers(min_value=0, max_value=2 ** 16),
+       ops=op_strategy)
+def test_random_interleavings_converge(service, writers, seed, ops):
+    fleet = Fleet(service, clients=writers, seed=seed, record=True)
+    schedule_ops(fleet, ops)
+    fleet.run_until_idle()
+    assert fleet.converged(), (
+        "live members diverged:\n" + "\n".join(
+            f"  {member.name}: {sorted(member.folder.paths())}"
+            for member in fleet.live_members()))
+    # Byte conservation on every member, plus the fan-out balance.
+    fleet.audit()
