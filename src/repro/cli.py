@@ -23,7 +23,8 @@ import sys
 from typing import List, Optional
 
 from .client import AccessMethod, SERVICES, service_profile
-from .reporting import fmt_tue, render_series, render_table, size_cell
+from .reporting import (fmt_tue, render_fleet_members, render_series,
+                        render_table, size_cell)
 from .units import KB, MB, fmt_size
 
 
@@ -236,7 +237,7 @@ def cmd_fleet(args) -> int:
         with recording(hub=hub, jsonl=args.trace):
             fleet = Fleet(args.service, access=args.access,
                           clients=args.clients, link_spec=link,
-                          seed=args.seed)
+                          seed=args.seed, domains=args.domains)
             schedule_writer_workload(fleet, writers=writers,
                                      files_per_writer=args.files,
                                      file_size=args.size, seed=args.seed)
@@ -247,19 +248,14 @@ def cmd_fleet(args) -> int:
         print(f"AUDIT FAILED: {violation}")
         return 1
     report = fleet.report()
-    rows = [
-        [member.name, "yes" if member.live else "left",
-         size_cell(int(member.traffic.total)),
-         size_cell(int(member.traffic.data_update_size)),
-         fmt_tue(member.tue), str(member.notifications),
-         str(member.fanout_fetches), str(member.conflicts)]
-        for member in report.members
-    ]
-    print(render_table(
-        ["Member", "Live", "Traffic", "Update", "TUE", "Notifs", "Fetches",
-         "Conflicts"], rows,
+    print(render_fleet_members(
+        report,
         title=f"Fleet — {report.service}, {report.clients} clients, "
               f"{writers} writer(s), seed {args.seed}"))
+    if args.domains > 1:
+        print(f"{args.domains} event domains, "
+              f"{fleet.sim.cross_messages} cross-domain messages "
+              f"(byte-identical to the single-queue run by construction)")
     # Amplification is normalised against the same workload driven by a
     # single solo writer (no fan-out targets).
     baseline = run_collaboration(args.service, access=args.access, writers=1,
@@ -505,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
            "--files": dict(type=int, default=2),
            "--size": dict(type=int, default=64 * KB),
            "--link": dict(choices=("mn", "bj"), default="mn"),
+           "--domains": dict(type=int, default=1),
            "--trace": dict(default=None),
            "--audit": dict(action="store_true")})
     add("overuse", cmd_overuse,

@@ -117,13 +117,17 @@ class SyncSession:
 
     # -- time ---------------------------------------------------------------
 
-    def run_until_idle(self, max_time: Optional[float] = None) -> None:
-        """Drain the simulation: all pending syncs (and defer timers) fire."""
-        self.sim.run_until_idle(max_time=max_time)
+    def run_until_idle(self, max_time: Optional[float] = None) -> float:
+        """Drain the simulation: all pending syncs (and defer timers) fire.
 
-    def advance(self, seconds: float) -> None:
+        Returns the final virtual time, like
+        :meth:`~repro.simnet.Simulator.run_until_idle`.
+        """
+        return self.sim.run_until_idle(max_time=max_time)
+
+    def advance(self, seconds: float) -> float:
         """Run the simulation forward by a fixed amount of virtual time."""
-        self.sim.run_until(self.sim.now + seconds)
+        return self.sim.run_until(self.sim.now + seconds)
 
     # -- measurement -----------------------------------------------------------
 

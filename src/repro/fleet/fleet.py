@@ -2,13 +2,22 @@
 
 :class:`Fleet` is the collaboration-scale counterpart of
 :class:`~repro.client.session.SyncSession`: one seeded
-:class:`~repro.simnet.Simulator` (a single heap-ordered event queue keyed
-by ``(time, seq)`` — the global scheduler), one
+:class:`~repro.simnet.Simulator` (a calendar-queue event loop keyed by
+``(time, seq)`` — the global scheduler), one
 :class:`~repro.cloud.CloudServer`, one :class:`~repro.fleet.shared.
 SharedFolderHub`, and per-member links/meters/engines.  Everything the run
 does — notification interleaving, retry jitter, conflict-copy naming — is a
 pure function of the constructor arguments, so ``Fleet(..., seed=S)`` is
 byte-identical across reruns at any client count.
+
+``domains=D`` shards the same simulation into ``D`` independently
+schedulable event domains (a :class:`~repro.simnet.DomainScheduler`):
+members are placed ``index % D``, each domain owns its members' queues,
+and commit fan-out crosses domains as epoch-stamped messages.  Because
+every event is stamped from one global epoch counter, the sharded run is
+byte-identical to the ``domains=1`` run — same traffic totals, same span
+streams, same rendered report (pinned by the differential tests in
+``tests/test_fleet_sharded.py``).
 
 Client churn composes with the rest: :meth:`Fleet.join` mid-run spawns a
 member that backfills current server state, :meth:`FleetMember.leave`
@@ -27,7 +36,13 @@ from ..client.retry import RetryPolicy
 from ..cloud import CloudServer
 from ..content import Content, random_content
 from ..obs.recorder import TraceHub, current_hub, session_recorder
-from ..simnet import FaultInjector, FaultSchedule, LinkSpec, Simulator
+from ..simnet import (
+    DomainScheduler,
+    FaultInjector,
+    FaultSchedule,
+    LinkSpec,
+    Simulator,
+)
 from ..units import KB
 from .member import FleetMember
 from .report import FleetReport, MemberReport
@@ -50,6 +65,7 @@ class Fleet:
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultSchedule] = None,
         record: bool = False,
+        domains: int = 1,
     ):
         if isinstance(profile, str):
             profile = service_profile(profile, access)
@@ -60,7 +76,19 @@ class Fleet:
         self.retry = retry
         self.faults = faults
 
-        self.sim = Simulator()
+        #: ``domains > 1`` shards the fleet into that many independently
+        #: schedulable event domains (members placed ``index % domains``);
+        #: every event is stamped from one global epoch counter, so the run
+        #: is byte-identical to the single-queue run at any domain count.
+        if domains < 1:
+            raise ValueError(f"need at least one event domain (got {domains})")
+        self.domains = domains
+        if domains == 1:
+            self.sim: Union[Simulator, DomainScheduler] = Simulator()
+        else:
+            self.sim = DomainScheduler(
+                domains,
+                trace_messages=record or current_hub() is not None)
         self.server = CloudServer(
             dedup=profile.dedup,
             storage_chunk_size=profile.storage_chunk_size,
@@ -98,11 +126,15 @@ class Fleet:
     def _spawn(self, name: Optional[str] = None) -> FleetMember:
         index = len(self.hub.members)
         name = name or f"client{index}"
+        # Pure algorithmic placement (shard = f(UID)): join-order index
+        # alone decides the domain, so churn keeps placement deterministic.
+        sim = (self.sim.domain_for(index)
+               if isinstance(self.sim, DomainScheduler) else self.sim)
         return FleetMember(
             hub=self.hub, index=index, name=name, profile=self.profile,
             machine=self.machine, link_spec=self.link_spec, seed=self.seed,
             retry=self.retry, fault_schedule=self.faults,
-            recorder=self._recorder(name))
+            recorder=self._recorder(name), sim=sim)
 
     def join(self, name: Optional[str] = None) -> FleetMember:
         """A client joins mid-run and backfills current shared state."""
@@ -161,7 +193,11 @@ class Fleet:
         Requires the fleet to have been recording (``record=True`` or an
         ambient hub).
         """
-        from ..obs.audit import ConservationAuditor, audit_fleet_fanout
+        from ..obs.audit import (
+            ConservationAuditor,
+            audit_domain_protocol,
+            audit_fleet_fanout,
+        )
 
         recorders = [member.recorder for member in self.hub.members
                      if member.recorder is not None]
@@ -169,6 +205,8 @@ class Fleet:
         for recorder in recorders:
             auditor.audit(recorder)
         audit_fleet_fanout(self.hub.ledger, recorders)
+        if isinstance(self.sim, DomainScheduler):
+            audit_domain_protocol(self.sim)
 
 
 def schedule_writer_workload(
@@ -199,7 +237,9 @@ def schedule_writer_workload(
                 file_size, seed=seed * 100_003 + index * 1_000
                 + round_index + 1)
             at = start + (round_index * writers + index) * spacing
-            fleet.sim.schedule_at(at, member.folder.create,
-                                  f"w{index}/doc{round_index}.bin", content)
+            # Schedule through the member's own handle so a sharded fleet
+            # keeps each writer's kickoff in the writer's domain.
+            member.sim.schedule_at(at, member.folder.create,
+                                   f"w{index}/doc{round_index}.bin", content)
             total += file_size
     return total

@@ -54,7 +54,12 @@ from ..simnet import (
 from .shared import EPOCH_BACKFILL, FanoutEpoch, SharedFolderHub, conflict_copy_name
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Union
+
     from ..obs.recorder import TraceRecorder
+    from ..simnet import EventDomain, Simulator
+
+    SimLike = Union[Simulator, EventDomain]
 
 #: Wire framing of the small follower-side metadata exchanges.
 _FETCH_META_UP = 300
@@ -98,9 +103,12 @@ class FleetMember:
         retry: Optional[RetryPolicy] = None,
         fault_schedule: Optional[FaultSchedule] = None,
         recorder: Optional["TraceRecorder"] = None,
+        sim: Optional["SimLike"] = None,
     ):
         self.hub = hub
-        self.sim = hub.sim
+        #: The member's scheduling surface: the fleet-global simulator, or
+        #: this member's :class:`~repro.simnet.EventDomain` when sharded.
+        self.sim = sim if sim is not None else hub.sim
         self.index = index
         self.name = name
         self.profile = profile

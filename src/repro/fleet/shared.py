@@ -43,9 +43,15 @@ def conflict_copy_name(path: str, member: str,
     """
     directory, sep, filename = path.rpartition("/")
     stem, dot, ext = filename.rpartition(".")
-    if not dot:
-        stem, ext = filename, ""
-    suffix = f".{ext}" if dot else ""
+    if not dot or not stem:
+        # Extensionless files, and dotfiles whose only dot leads the name:
+        # ".gitignore" splits to an empty stem, but the lone leading dot
+        # *is* the stem — the marker goes at the end, no extension
+        # re-attached (otherwise the copy would be named
+        # " (conflicted copy of ...).gitignore").
+        stem, suffix = filename, ""
+    else:
+        suffix = f".{ext}"
     base = f"{directory}{sep}{stem} (conflicted copy of {member})"
     candidate = base + suffix
     counter = 2

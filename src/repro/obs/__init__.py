@@ -23,6 +23,7 @@ role, and this package is the instrument that makes it trustworthy:
 from .audit import (
     AuditViolation,
     ConservationAuditor,
+    audit_domain_protocol,
     audit_fleet_fanout,
     audit_hub,
     audit_replay_report,
@@ -68,6 +69,7 @@ __all__ = [
     "TraceHub",
     "TraceRecorder",
     "WIRE_KINDS",
+    "audit_domain_protocol",
     "audit_fleet_fanout",
     "audit_hub",
     "audit_replay_report",

@@ -469,3 +469,20 @@ def audit_fleet_fanout(ledger: List[Any],
     violations = verify_fleet_fanout(ledger, recorders)
     if violations:
         raise violations[0]
+
+
+def audit_domain_protocol(scheduler: Any) -> None:
+    """Raise on the first broken cross-domain message invariant.
+
+    The sharded fleet's fan-out crosses event domains as epoch-stamped
+    messages; this invariant holds the message accounting itself to the
+    same standard as the byte ledgers (matrix/total agreement, no
+    self-crossings, monotone epochs, causal delivery).  The per-epoch
+    byte balance across domains is already covered by
+    ``fanout-conservation``, which is domain-agnostic by construction.
+    """
+    from ..simnet.domains import verify_domain_protocol
+
+    violations = verify_domain_protocol(scheduler)
+    if violations:
+        raise AuditViolation("domain-protocol", violations[0])

@@ -6,9 +6,12 @@ regenerates, row for row, what the paper reports.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from ..units import fmt_size
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fleet.report import FleetReport
 
 
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]],
@@ -44,6 +47,29 @@ def render_series(points: Sequence[Tuple[float, float]],
 def size_cell(nbytes: float) -> str:
     """Table 6/7/8 style byte formatting."""
     return fmt_size(nbytes)
+
+
+def render_fleet_members(report: "FleetReport",
+                         title: Optional[str] = None) -> str:
+    """The per-member fleet table the ``repro fleet`` CLI prints.
+
+    Shared between the CLI and the sharded-fleet differential tests: the
+    rendered report is part of the byte-identity contract, so both sides
+    must render through the same code path.  Deliberately a pure function
+    of the :class:`~repro.fleet.report.FleetReport` — nothing about domain
+    layout may leak into it.
+    """
+    rows = [
+        [member.name, "yes" if member.live else "left",
+         size_cell(int(member.traffic.total)),
+         size_cell(int(member.traffic.data_update_size)),
+         fmt_tue(member.tue), str(member.notifications),
+         str(member.fanout_fetches), str(member.conflicts)]
+        for member in report.members
+    ]
+    return render_table(
+        ["Member", "Live", "Traffic", "Update", "TUE", "Notifs", "Fetches",
+         "Conflicts"], rows, title=title)
 
 
 def fmt_tue(value: float, precision: int = 2) -> str:

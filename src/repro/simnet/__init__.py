@@ -12,7 +12,20 @@ from .analysis import (
     sync_event_sizes,
     throughput_series,
 )
-from .clock import Event, SimulationError, Simulator
+from .clock import (
+    CalendarEventQueue,
+    Event,
+    HeapEventQueue,
+    SimulationError,
+    Simulator,
+    make_event_queue,
+)
+from .domains import (
+    DomainMessage,
+    DomainScheduler,
+    EventDomain,
+    verify_domain_protocol,
+)
 from .faults import (
     FaultEpisode,
     FaultInjector,
@@ -37,7 +50,12 @@ from .protocol import Channel, ProtocolCosts
 
 __all__ = [
     "ACK_SIZE",
+    "CalendarEventQueue",
     "Channel",
+    "DomainMessage",
+    "DomainScheduler",
+    "EventDomain",
+    "HeapEventQueue",
     "KindBreakdown",
     "kind_breakdown",
     "peak_throughput",
@@ -64,6 +82,8 @@ __all__ = [
     "TrafficRecord",
     "TrafficTotals",
     "bj_link",
+    "make_event_queue",
     "mn_link",
     "packetize",
+    "verify_domain_protocol",
 ]

@@ -98,6 +98,26 @@ def test_overuse_workers_matches_sequential(capsys):
     assert parallel == sequential
 
 
+def test_fleet_audited(capsys):
+    out = run(capsys, "fleet", "--clients", "3", "--writers", "2",
+              "--seed", "3", "--audit")
+    assert "client0" in out and "fleet TUE" in out
+    assert "event domains" not in out
+
+
+def test_fleet_sharded_matches_single_queue(capsys):
+    single = run(capsys, "fleet", "--clients", "4", "--writers", "2",
+                 "--seed", "3", "--audit")
+    sharded = run(capsys, "fleet", "--clients", "4", "--writers", "2",
+                  "--seed", "3", "--audit", "--domains", "4")
+    assert "4 event domains" in sharded
+    assert "cross-domain messages" in sharded
+    # Everything but the domains footer is byte-identical.
+    footer = next(line for line in sharded.splitlines()
+                  if "event domains" in line)
+    assert sharded.replace(footer + "\n", "") == single
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])

@@ -1,6 +1,8 @@
 """Unit tests for the discrete-event simulator core."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.simnet import SimulationError, Simulator
 
@@ -114,3 +116,152 @@ def test_runaway_simulation_detected():
 
 def test_step_returns_false_when_empty():
     assert Simulator().step() is False
+
+
+# -- run loop return values -------------------------------------------------
+
+def test_run_until_idle_returns_final_time():
+    sim = Simulator()
+    sim.schedule(3.0, lambda: None)
+    assert sim.run_until_idle() == 3.0
+    assert sim.run_until_idle() == 3.0  # idle run returns current time
+
+
+def test_run_until_idle_with_max_time_returns_max_time():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    assert sim.run_until_idle(max_time=4.0) == 4.0
+
+
+def test_run_until_returns_final_time():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    assert sim.run_until(5.0) == 5.0
+    assert sim.now == 5.0
+
+
+# -- sub-epsilon past scheduling --------------------------------------------
+
+def test_schedule_at_clamps_float_noise_to_now():
+    # Chains like schedule_at(committed_at + k * delay) accumulate ulp
+    # noise; an infinitesimally-past absolute time must not blow up.
+    sim = Simulator()
+    sim.run_until(1e6)
+    now = sim.now
+    fired = []
+    sim.schedule_at(now - now * 1e-15, fired.append, "ok")
+    sim.run_until_idle()
+    assert fired == ["ok"]
+    assert sim.now == now  # clamped to "now", not rewound
+
+
+def test_schedule_at_still_rejects_genuinely_past_times():
+    sim = Simulator()
+    sim.run_until(100.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(99.0, lambda: None)
+
+
+def test_schedule_rejects_genuinely_negative_delay():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-0.5, lambda: None)
+
+
+# -- calendar queue vs. heapq equivalence -----------------------------------
+
+def run_script(queue_kind, script):
+    """Drive one simulator through a schedule/cancel script; return firings.
+
+    ``script`` is a list of (delay, cancel_index) pairs: each step schedules
+    an event ``delay`` after the previous step's absolute time, then (if
+    ``cancel_index`` is not None) cancels the event scheduled at that index.
+    Half the events self-schedule a follow-up to exercise scheduling from
+    inside callbacks.
+    """
+    sim = Simulator(queue=queue_kind)
+    fired = []
+    events = []
+
+    def fire(label):
+        fired.append((sim.now, label))
+        if label % 2 == 0 and label < 1000:
+            # One follow-up only — labels ≥ 1000 never re-schedule.
+            sim.schedule(0.25, fire, label + 1000)
+
+    for label, (delay, cancel_index) in enumerate(script):
+        events.append(sim.schedule(delay, fire, label))
+        if cancel_index is not None:
+            events[cancel_index % len(events)].cancel()
+    sim.run_until_idle()
+    return fired
+
+
+@pytest.mark.parametrize("queue_kind", ["calendar", "heap"])
+def test_queue_kinds_run_identical_scripts(queue_kind):
+    script = [(2.5, None), (2.5, None), (0.0, 0), (7.25, None), (2.5, 1)]
+    assert run_script(queue_kind, script) == [
+        (0.0, 2), (0.25, 1002), (2.5, 4), (2.75, 1004), (7.25, 3)]
+
+
+@given(st.lists(
+    st.tuples(
+        st.one_of(
+            st.sampled_from([0.0, 0.5, 1.0, 2.5, 1e-6, 3600.0, 1e6]),
+            st.floats(min_value=0.0, max_value=1e5, allow_nan=False)),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=63))),
+    min_size=1, max_size=64))
+@settings(deadline=None, max_examples=200)
+def test_calendar_queue_matches_heap_pop_order(script):
+    """The determinism contract: both queues fire the same events at the
+    same times in the same order, for any schedule including cancellations
+    and exact time ties."""
+    assert run_script("calendar", script) == run_script("heap", script)
+
+
+def test_calendar_queue_slot_boundary_regression():
+    """An event whose time divides *down* into the previous slot
+    (``t == 17 * width`` floats to slot 16) must still pop in order."""
+    from repro.simnet import CalendarEventQueue, Event
+
+    width = 0.005662377450980393
+    queue = CalendarEventQueue(width=width)
+    boundary = 17 * width
+    assert int(boundary // width) == 16  # the float quirk this test pins
+    later = Event(boundary + width, 1, lambda: None, ())
+    exact = Event(boundary, 2, lambda: None, ())
+    queue.push(later)
+    queue.push(exact)
+    assert queue.pop() is exact
+    assert queue.pop() is later
+    assert queue.pop() is None
+
+
+def test_calendar_queue_eager_cancellation_empties_buckets():
+    from repro.simnet import CalendarEventQueue, Event
+
+    queue = CalendarEventQueue()
+    events = [Event(float(i), i, lambda: None, ()) for i in range(64)]
+    for event in events:
+        queue.push(event)
+    for event in events:
+        event.cancel()
+    assert len(queue) == 0
+    assert queue.pop() is None
+    # Cancelled events left their buckets immediately (no lazy tombstones).
+    assert all(not bucket for bucket in queue._buckets)
+
+
+def test_event_cancel_after_fire_is_noop():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.run_until_idle()
+    event.cancel()  # must not raise or corrupt the queue
+    event.cancel()
+    assert sim.pending_count() == 0
+
+
+def test_make_event_queue_rejects_unknown_kind():
+    from repro.simnet import make_event_queue
+
+    with pytest.raises(ValueError):
+        make_event_queue("fibonacci")

@@ -49,6 +49,47 @@ def test_conflict_copy_name_counters_on_collision():
         == "doc (conflicted copy of c0) 3.txt"
 
 
+def test_conflict_copy_name_dotfile_keeps_leading_dot_as_stem():
+    # Regression: ".gitignore" used to split to an empty stem and become
+    # " (conflicted copy of client2).gitignore" (leading space, wrong ext).
+    assert conflict_copy_name(".gitignore", "client2", lambda p: False) \
+        == ".gitignore (conflicted copy of client2)"
+
+
+def test_conflict_copy_name_dotfile_in_directory():
+    assert conflict_copy_name("w0/.env", "c1", lambda p: False) \
+        == "w0/.env (conflicted copy of c1)"
+
+
+def test_conflict_copy_name_dotfile_with_real_extension_splits():
+    # A dotfile that *also* has an extension keeps normal splitting.
+    assert conflict_copy_name(".config.yml", "c1", lambda p: False) \
+        == ".config (conflicted copy of c1).yml"
+
+
+def test_conflict_copy_name_multi_dot_splits_at_last_dot():
+    assert conflict_copy_name("archive.tar.gz", "c9", lambda p: False) \
+        == "archive.tar (conflicted copy of c9).gz"
+
+
+def test_conflict_copy_name_dotfile_collision_counter():
+    taken = {".gitignore (conflicted copy of c0)"}
+    assert conflict_copy_name(".gitignore", "c0", taken.__contains__) \
+        == ".gitignore (conflicted copy of c0) 2"
+
+
+# -- run_until_idle return contract -----------------------------------------
+
+def test_fleet_run_until_idle_returns_final_time():
+    # Regression: annotated ``-> float`` but returned None because the
+    # simulator's own run_until_idle returned nothing.
+    fleet = small_fleet()
+    end = fleet.run_until_idle()
+    assert isinstance(end, float)
+    assert end == fleet.sim.now
+    assert end > 0.0
+
+
 # -- fleet_tue conventions --------------------------------------------------
 
 def test_fleet_tue_conventions():
