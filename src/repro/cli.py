@@ -202,22 +202,26 @@ def cmd_upgrades(args) -> int:
 
 
 def cmd_overuse(args) -> int:
-    from .trace import (generate_trace, replay_trace, replay_trace_parallel,
+    from .trace import (ReplayPool, generate_trace, replay_trace,
                         traffic_overuse_fraction)
     trace = generate_trace(scale=args.scale, seed=args.seed)
+    pool = ReplayPool(trace, workers=args.workers) if args.workers > 1 \
+        else None
     rows = []
-    for service in SERVICES:
-        profile = service_profile(service, args.access)
-        # The replay RNG must see the CLI seed, or every run silently
-        # replays at seed=0 regardless of --seed.
-        if args.workers > 1:
-            report = replay_trace_parallel(trace, profile,
-                                           workers=args.workers,
-                                           seed=args.seed)
-        else:
-            report = replay_trace(trace, profile, seed=args.seed)
-        rows.append([service,
-                     f"{traffic_overuse_fraction(report):.1%}"])
+    try:
+        for service in SERVICES:
+            profile = service_profile(service, args.access)
+            # The replay RNG must see the CLI seed, or every run silently
+            # replays at seed=0 regardless of --seed.
+            if pool is not None:
+                report = pool.replay(profile, seed=args.seed)
+            else:
+                report = replay_trace(trace, profile, seed=args.seed)
+            rows.append([service,
+                         f"{traffic_overuse_fraction(report):.1%}"])
+    finally:
+        if pool is not None:
+            pool.close()
     print(render_table(
         ["Service", "Users losing >10% of traffic to modification overuse"],
         rows, title=f"Traffic overuse across the trace (scale {args.scale:g})"))
@@ -274,19 +278,32 @@ def cmd_fleet(args) -> int:
 
 
 def cmd_replay(args) -> int:
-    from .trace import generate_trace, replay_all
-    trace = generate_trace(scale=args.scale, seed=args.seed)
+    from .trace import (ReplayPool, generate_trace, iter_trace_records,
+                        replay_all)
+    if args.stream:
+        # Stream records straight into the worker shards: the parent never
+        # materialises the trace (the scale-50 regime).
+        with ReplayPool.from_records(
+                iter_trace_records(scale=args.scale, seed=args.seed),
+                workers=args.workers) as pool:
+            reports = replay_all(access=args.access, seed=args.seed,
+                                 pool=pool)
+            file_count = pool.record_count
+    else:
+        trace = generate_trace(scale=args.scale, seed=args.seed)
+        reports = replay_all(trace, access=args.access, seed=args.seed,
+                             workers=args.workers)
+        file_count = len(trace)
     rows = [
         [report.service, fmt_size(report.traffic_bytes), fmt_tue(report.tue),
          fmt_size(report.saved_by_compression), fmt_size(report.saved_by_dedup),
          fmt_size(report.saved_by_bds), fmt_size(report.saved_by_ids)]
-        for report in replay_all(trace, access=args.access, seed=args.seed,
-                                 workers=args.workers)
+        for report in reports
     ]
     print(render_table(
         ["Service", "Traffic", "TUE", "Δcompress", "Δdedup", "Δbds", "Δids"],
         rows, title=f"Macro replay (scale {args.scale:g}, "
-                    f"{len(trace)} files, {args.access.value})"))
+                    f"{file_count} files, {args.access.value})"))
     return 0
 
 
@@ -345,13 +362,13 @@ def _obs_run_target(args, target: str) -> str:
         return (f"experiment 8 (faults at rate {args.fault_rate:g}, "
                 f"{service})")
     if target == "replay":
-        from .obs import audit_replay_report
-        from .trace import generate_trace, replay_trace_parallel
+        from .trace import ReplayPool, generate_trace
         trace = generate_trace(scale=args.scale, seed=args.seed)
         profile = service_profile(service, access)
-        report = replay_trace_parallel(trace, profile, workers=args.workers,
-                                       seed=args.seed)
-        audit_replay_report(report)
+        with ReplayPool(trace, workers=args.workers) as pool:
+            # replay_audited checks the per-report invariants *and* that
+            # the shard merge (settle credits included) conserved bytes.
+            pool.replay_audited(profile, seed=args.seed)
         return (f"parallel replay (scale {args.scale:g}, "
                 f"{args.workers} worker(s), {service})")
     raise ValueError(f"unknown target {target!r}")
@@ -487,7 +504,10 @@ def build_parser() -> argparse.ArgumentParser:
         **{"--scale": dict(type=float, default=0.05),
            "--seed": dict(type=int, default=42),
            "--access": dict(type=_access, default=AccessMethod.PC),
-           "--workers": dict(type=int, default=1)})
+           "--workers": dict(type=int, default=1),
+           "--stream": dict(action="store_true",
+                            help="stream records into the pool instead of "
+                                 "materialising the trace")})
     add("findings", cmd_findings,
         **{"--scale": dict(type=float, default=0.1)})
     add("upgrades", cmd_upgrades,

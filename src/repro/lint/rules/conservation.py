@@ -81,12 +81,27 @@ def _is_int_wrapped(node: ast.AST) -> bool:
             and node.func.id in ("int", "len", "round"))
 
 
+def _division_inside(node: ast.AST) -> Optional[ast.AST]:
+    """The first true division anywhere under ``node``, or None."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.BinOp) and isinstance(child.op, ast.Div):
+            return child
+    return None
+
+
 def _float_feeds(value: ast.AST) -> Optional[ast.AST]:
     """The first float-producing sub-expression of ``value`` (a true
-    division or a ``float()`` cast); ``int(...)``-wrapped subtrees are
-    already re-floored and not descended into."""
+    division or a ``float()`` cast).
+
+    ``int(...)``-wrapped subtrees re-floor their result, which forgives
+    float *scaling* (``int(bytes * 1.5)``) — but not true division:
+    ``int(a * b / c)`` computes the quotient as a float first, so above
+    2**53 the value is already wrong before ``int()`` sees it.  Divisions
+    are therefore flagged even under an int/round wrapper; ``a * b // c``
+    is the exact form.
+    """
     if _is_int_wrapped(value):
-        return None
+        return _division_inside(value)
     if isinstance(value, ast.BinOp) and isinstance(value.op, ast.Div):
         return value
     if isinstance(value, ast.Call) and isinstance(value.func, ast.Name) \
@@ -104,7 +119,8 @@ class FloatByteArithmeticRule(Rule):
 
     id = "REP010"
     summary = "float arithmetic feeding a byte counter"
-    hint = "use // (or int(...)) so the ledger stays integer-exact"
+    hint = ("use integer // — int(a / b) rounds through a float and is "
+            "already wrong above 2**53")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not ctx.in_package("repro") or ctx.in_package(*_DISPLAY_MODULES):

@@ -364,33 +364,55 @@ def audit_replay_report(report: Any) -> None:
         raise violations[0]
 
 
-def verify_replay_merge(parts: List[Any], merged: Any) -> List[AuditViolation]:
+def verify_replay_merge(parts: List[Any], merged: Any,
+                        settle_credits: Optional[dict] = None
+                        ) -> List[AuditViolation]:
     """Shard reports must sum, counter by counter, to the merged report.
 
-    Only valid for *final* (cross-user-resolved) shard reports whose
-    decrements were applied consistently — i.e. the outputs of the
-    two-phase parallel merge, not raw phase-one shards.
+    ``settle_credits`` is the phase-2 CROSS_USER dedup correction the
+    parallel merge applied (per-user bytes re-credited from
+    ``traffic_bytes`` to ``saved_by_dedup``); with it, raw phase-one
+    shard reports balance against the final merged report exactly —
+    traffic drops by the total credit, dedup savings rise by the same
+    total, and each user's traffic drops by their own credit, so not a
+    byte appears or vanishes in the settlement.  Without it (the
+    default), the merge must be purely additive.
     """
     out: List[AuditViolation] = []
+    credits = settle_credits or {}
 
     def check(condition: bool, message: str) -> None:
         if not condition:
             out.append(AuditViolation("replay-conservation", message,
                                       session=merged.service))
 
+    for user, value in credits.items():
+        check(value >= 0,
+              f"settle credit for {user} is negative ({value}): phase 2 "
+              f"can only move bytes from traffic into dedup savings")
+    adjustment = sum(credits.values())
     for name in ("traffic_bytes", "data_update_bytes", "overhead_bytes",
                  "saved_by_compression", "saved_by_dedup", "saved_by_bds",
                  "saved_by_ids", "file_count", "upload_events"):
         total = sum(getattr(part, name) for part in parts)
+        if name == "traffic_bytes":
+            total -= adjustment
+        elif name == "saved_by_dedup":
+            total += adjustment
         check(total == getattr(merged, name),
-              f"shard {name} sums to {total}, merged report holds "
-              f"{getattr(merged, name)}")
+              f"shard {name} sums to {total} after settlement, merged "
+              f"report holds {getattr(merged, name)}")
     for dict_name in ("per_user_traffic", "per_user_modification_traffic",
                       "per_user_modification_update"):
         summed: dict = {}
         for part in parts:
             for user, value in getattr(part, dict_name).items():
                 summed[user] = summed.get(user, 0) + value
+        if dict_name == "per_user_traffic":
+            for user, value in credits.items():
+                check(user in summed,
+                      f"settle credit for unknown user {user}")
+                summed[user] = summed.get(user, 0) - value
         check(summed == getattr(merged, dict_name),
               f"per-user dict {dict_name} does not merge additively")
     return out

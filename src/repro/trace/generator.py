@@ -168,6 +168,29 @@ def _service_records(service: str, n_users: int, n_files: int,
         files_left -= burst
 
 
+def iter_trace_records(scale: float = 1.0, seed: int = 42,
+                       config: Optional[GeneratorConfig] = None
+                       ) -> Iterator[FileRecord]:
+    """Stream the statistical twin trace record by record.
+
+    Yields exactly the records of ``generate_trace(scale, seed)`` in the
+    same order (it *is* ``generate_trace``'s implementation), without
+    materialising the trace: peak memory is the duplicate-sampling pool
+    plus one record.  Feed it to ``ReplayPool.from_records`` to replay a
+    trace that never exists in the parent process at all.
+    """
+    config = config or GeneratorConfig(scale=scale, seed=seed)
+    rng = np.random.default_rng(config.seed)
+    segments = _SegmentFactory()
+    #: Global pool of prior originals for duplicate/near-duplicate sampling.
+    pool: List[_PoolEntry] = []
+    file_counter = itertools.count()
+
+    for service, (n_users, n_files) in sorted(config.service_plan().items()):
+        yield from _service_records(service, n_users, n_files, rng,
+                                    segments, pool, file_counter)
+
+
 def generate_trace(scale: float = 1.0, seed: int = 42,
                    config: Optional[GeneratorConfig] = None) -> Trace:
     """Generate the statistical twin trace.
@@ -176,17 +199,7 @@ def generate_trace(scale: float = 1.0, seed: int = 42,
     distributions (unit tests use ``scale≈0.02``; benches use 1.0).
     """
     config = config or GeneratorConfig(scale=scale, seed=seed)
-    rng = np.random.default_rng(config.seed)
-    segments = _SegmentFactory()
-    trace = Trace()
-    #: Global pool of prior originals for duplicate/near-duplicate sampling.
-    pool: List[_PoolEntry] = []
-    file_counter = itertools.count()
-
-    for service, (n_users, n_files) in sorted(config.service_plan().items()):
-        trace.records.extend(_service_records(
-            service, n_users, n_files, rng, segments, pool, file_counter))
-    return trace
+    return Trace(records=list(iter_trace_records(config=config)))
 
 
 def iter_trace_shards(scale: float = 1.0, seed: int = 42,
@@ -222,7 +235,12 @@ def iter_trace_shards(scale: float = 1.0, seed: int = 42,
         for record in _service_records(service, n_users, n_files, rng,
                                        segments, pool, file_counter):
             buckets[group_of[record.user]].append(record)
-        for records in buckets:
+        for group in range(n_groups):
+            records = buckets[group]
+            # Hand the bucket off and drop our reference immediately, so a
+            # consumer that discards shards as it goes keeps peak memory at
+            # one shard, not one service.
+            buckets[group] = []
             if records:
                 yield Trace(records=records)
 

@@ -13,32 +13,51 @@ The estimator is validated against the micro engine in
 tests/test_replay.py: for small synthetic traces the two agree on every
 qualitative ordering and within tens of percent on totals.
 
-Scaling: :func:`replay_trace_parallel` shards the replay across processes
-by user and is **byte-identical** to :func:`replay_trace` at any worker
-count.  Three properties make that possible (see DESIGN.md, "Parallel
-replay & determinism contract"):
+Scaling: :class:`ReplayPool` shards the replay across a persistent pool of
+worker processes (one per user-disjoint shard, forked once and reused for
+every profile replayed against the same trace) and is **byte-identical**
+to :func:`replay_trace` at any worker count.  Four properties make that
+possible (see DESIGN.md, "Parallel replay & determinism contract"):
 
 * every record's modification RNG is its own stream keyed by
   ``(seed, profile, global record index)`` — no draw-order coupling
   between records;
 * BDS batch eligibility and ``SAME_USER`` dedup only couple records of
   one user, and sharding is by user;
-* ``CROSS_USER`` dedup couples records globally, so shards emit per-unit
-  first-occurrence *candidates* keyed by global record index, and a merge
-  pass resolves true first occurrences and re-credits ``saved_by_dedup``
-  exactly (two-phase protocol).
+* ``CROSS_USER`` dedup couples records globally, so shards retain per-unit
+  first-occurrence *candidates* worker-side and ship only a compact
+  digest/index summary; a merge pass resolves true first occurrences and
+  re-credits ``saved_by_dedup`` exactly (two-phase protocol, with the
+  winner table published once through ``multiprocessing.shared_memory``);
+* phase 2 short-circuits entirely when no unit has candidates in more
+  than one shard — the common case for traces without cross-user
+  duplicate content.
 """
 
 from __future__ import annotations
 
 import bisect
+import hashlib
 import multiprocessing
 import os
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+import threading
+import traceback
+from array import array
+from dataclasses import dataclass, field, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..client import AccessMethod, ServiceProfile, service_profile
+from ..client.defer import NoDefer
 from ..client.profiles import BdsMode
 from ..cloud.dedup import DedupGranularity, DedupScope
 from ..compress import CompressionLevel
@@ -191,26 +210,124 @@ def _mod_fractions(seed: int, profile_name: str, index: int,
             for _ in range(count)]
 
 
-@dataclass
-class _DedupCandidates:
-    """Phase-1 output for one record under CROSS_USER dedup.
+# ---------------------------------------------------------------------------
+# Compact dedup-candidate representation (the phase-1 wire format)
+# ---------------------------------------------------------------------------
 
-    ``units`` are this record's locally-first-seen units; each may lose to
-    an earlier occurrence (smaller global index) in another shard, in which
-    case phase 2 re-credits the difference to ``saved_by_dedup``.
+#: Bytes per unit digest.  Unit identities (segment-id blobs, up to 128 KB
+#: for a 2 GB file's full-file key) are folded to fixed-width blake2b
+#: digests before they enter the dedup set or the candidate state — the
+#: collision probability over a trillion distinct units is < 2⁻⁸⁰, far
+#: below any other modelling noise, and it is what makes the candidate
+#: summaries compact enough to ship between processes.
+_DIGEST_SIZE = 16
+
+
+def _unit_digest(key) -> bytes:
+    """Fixed-width identity digest for one dedup unit.
+
+    ``key`` is the raw unit identity (the segment-id blob for a block, or
+    the ``(blob, size)`` tuple of a full-file key).  Both the sequential
+    and the sharded replay dedup on these digests, so the two paths agree
+    by construction.
+    """
+    if isinstance(key, tuple):
+        blob, size = key
+        digest = hashlib.blake2b(blob, digest_size=_DIGEST_SIZE)
+        digest.update(size.to_bytes(8, "little"))
+    else:
+        digest = hashlib.blake2b(key, digest_size=_DIGEST_SIZE)
+    return digest.digest()
+
+
+class _ShardCandidates:
+    """Phase-1 candidate state for one shard under CROSS_USER dedup.
+
+    Flat, integer-packed columns instead of per-record objects: global
+    record indices, users, pre-dedup wires, unit-length sums, and a unit
+    table (digest + length) addressed by per-record offsets.  The whole
+    structure stays resident in the worker process that produced it; only
+    :meth:`summary` — one digest and one owning record index per fresh
+    unit — crosses the IPC boundary.
     """
 
-    index: int                       # global record index in the trace
-    user: str
-    wire: int                        # compressed creation wire, pre-dedup
-    total_len: int                   # `or 1`-guarded unit length sum
-    units: List[Tuple[bytes, int]]   # (unit key, unit length)
+    __slots__ = ("indices", "users", "wires", "total_lens", "offsets",
+                 "unit_digests", "unit_lengths")
+
+    def __init__(self) -> None:
+        self.indices: List[int] = []
+        self.users: List[str] = []
+        self.wires: List[int] = []
+        self.total_lens: List[int] = []
+        self.offsets: List[int] = [0]
+        self.unit_digests: List[bytes] = []
+        self.unit_lengths: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def add(self, index: int, user: str, wire: int, total_len: int,
+            fresh_units: Sequence[Tuple[bytes, int]]) -> None:
+        self.indices.append(index)
+        self.users.append(user)
+        self.wires.append(wire)
+        self.total_lens.append(total_len)
+        for digest, length in fresh_units:
+            self.unit_digests.append(digest)
+            self.unit_lengths.append(length)
+        self.offsets.append(len(self.unit_digests))
+
+    def summary(self) -> Tuple[bytes, bytes]:
+        """Packed (digest blob, int64 owner-index blob), one entry per
+        fresh unit.  Within a shard every fresh unit belongs to exactly one
+        candidate record (later occurrences were deduplicated locally), and
+        shard records are scanned in increasing global index order, so the
+        owner index *is* the shard's first occurrence of that unit.
+        """
+        owners = array("q")
+        for position, index in enumerate(self.indices):
+            owners.extend(
+                [index] * (self.offsets[position + 1] - self.offsets[position]))
+        return b"".join(self.unit_digests), owners.tobytes()
+
+    def settle(self, winners: Dict[bytes, int]) -> Dict[str, int]:
+        """Phase 2: per-user re-credit for units lost to an earlier shard.
+
+        ``winners`` maps each *contested* unit digest (candidates in more
+        than one shard) to the globally smallest candidate record index.
+        Uncontested units are always kept.  The correction per record is
+        computed with the *same* integer expression phase 1 used —
+        ``wire * shipped // total_len`` — so the merged report equals the
+        sequential one bit for bit, with no float rounding above 2**53.
+        """
+        credits: Dict[str, int] = {}
+        lookup = winners.get
+        for position, index in enumerate(self.indices):
+            start = self.offsets[position]
+            end = self.offsets[position + 1]
+            shipped = 0
+            kept = 0
+            for unit in range(start, end):
+                length = self.unit_lengths[unit]
+                shipped += length
+                winner = lookup(self.unit_digests[unit])
+                if winner is None or winner == index:
+                    kept += length
+            if kept == shipped:
+                continue
+            wire = self.wires[position]
+            total_len = self.total_lens[position]
+            delta = wire * shipped // total_len - wire * kept // total_len
+            if delta:
+                user = self.users[position]
+                credits[user] = credits.get(user, 0) + delta
+        return credits
 
 
 def _replay_records(shard: Sequence[Tuple[int, FileRecord]],
                     profile: ServiceProfile, seed: int,
                     collect_candidates: bool,
-                    ) -> Tuple[ReplayReport, List[_DedupCandidates]]:
+                    ) -> Tuple[ReplayReport, Optional[_ShardCandidates]]:
     """Replay one shard of (global index, record) pairs.
 
     The single code path behind both the sequential and the parallel
@@ -237,7 +354,7 @@ def _replay_records(shard: Sequence[Tuple[int, FileRecord]],
 
     dedup = profile.dedup
     seen_units: Set = set()
-    candidates: List[_DedupCandidates] = []
+    candidates = _ShardCandidates() if collect_candidates else None
 
     for index, record in shard:
         report.file_count += 1
@@ -253,24 +370,31 @@ def _replay_records(shard: Sequence[Tuple[int, FileRecord]],
             if dedup.granularity is DedupGranularity.FULL_FILE:
                 keys = [(record.full_file_key(), record.size)]
             else:
-                keys = [(key, length)
-                        for key, length in record.block_keys(dedup.block_size)]
-            total_len = sum(length for _, length in keys) or 1
+                keys = list(record.block_keys(dedup.block_size))
+            total_len = sum(length for _, length in keys)
             for key, length in keys:
-                scope_key = key if dedup.scope is DedupScope.CROSS_USER \
-                    else (record.user, key)
+                digest = _unit_digest(key)
+                scope_key = digest if dedup.scope is DedupScope.CROSS_USER \
+                    else (record.user, digest)
                 if scope_key in seen_units:
                     continue
                 seen_units.add(scope_key)
                 shipped += length
                 if collect_candidates:
-                    fresh_units.append((key, length))
-            deduped_wire = int(wire * shipped / total_len)
+                    fresh_units.append((digest, length))
+            if total_len == 0:
+                # Explicit empty-units branch (formerly a silent `or 1`
+                # guard): a size-0 file — or a record with no content
+                # units at all — has no bytes to negotiate, so dedup
+                # neither ships nor saves anything and the wire passes
+                # through unchanged (it is 0 for size-0 records).
+                deduped_wire = wire
+            else:
+                deduped_wire = wire * shipped // total_len
             report.saved_by_dedup += wire - deduped_wire
-            if collect_candidates and fresh_units:
-                candidates.append(_DedupCandidates(
-                    index=index, user=record.user, wire=wire,
-                    total_len=total_len, units=fresh_units))
+            if collect_candidates and fresh_units and total_len > 0:
+                candidates.add(index, record.user, wire, total_len,
+                               fresh_units)
             wire = deduped_wire
 
         overhead = fixed
@@ -361,58 +485,35 @@ def _shard_by_user(trace: Trace,
     return [shard for shard in shards if shard]
 
 
-def _resolve_cross_user(report: ReplayReport,
-                        shard_candidates: Sequence[List[_DedupCandidates]],
-                        ) -> None:
-    """Phase 2 of the CROSS_USER protocol: settle true first occurrences.
+def _user_orders(records: Iterable[FileRecord]) -> Tuple[List[str], List[str]]:
+    """(creation order, modification order) of users, by first appearance.
 
-    A unit's true first occurrence is its candidate with the smallest
-    global record index.  Every losing candidate record gets its creation
-    wire recomputed with the losers removed — using the *same* integer
-    expression as phase 1, so the merged report equals the sequential one
-    bit for bit.
-    """
-    winners: Dict[bytes, int] = {}
-    for entries in shard_candidates:
-        for entry in entries:
-            for key, _length in entry.units:
-                current = winners.get(key)
-                if current is None or entry.index < current:
-                    winners[key] = entry.index
-    for entries in shard_candidates:
-        for entry in entries:
-            shipped = sum(length for _, length in entry.units)
-            kept = sum(length for key, length in entry.units
-                       if winners[key] == entry.index)
-            if kept == shipped:
-                continue
-            old_wire = int(entry.wire * shipped / entry.total_len)
-            new_wire = int(entry.wire * kept / entry.total_len)
-            delta = old_wire - new_wire
-            report.traffic_bytes -= delta
-            report.saved_by_dedup += delta
-            report.per_user_traffic[entry.user] -= delta
-
-
-def _restore_user_order(report: ReplayReport, trace: Trace) -> None:
-    """Reorder per-user dicts to sequential insertion order.
-
-    Sequential replay inserts users on first record (traffic) and on first
-    modified record (modification dicts); the merged dicts carry shard
-    order instead.  Rebuilding them makes the parallel report byte-identical
-    to the sequential one — same ``repr``, same JSON — not merely equal.
+    Sequential replay inserts users into the per-user dicts on their first
+    record (traffic) and first modified record (modification dicts); the
+    parallel merge re-canonicalises to these orders.
     """
     creation_order: List[str] = []
     modification_order: List[str] = []
     seen_any: Set[str] = set()
     seen_modified: Set[str] = set()
-    for record in trace:
+    for record in records:
         if record.user not in seen_any:
             seen_any.add(record.user)
             creation_order.append(record.user)
         if record.modify_count > 0 and record.user not in seen_modified:
             seen_modified.add(record.user)
             modification_order.append(record.user)
+    return creation_order, modification_order
+
+
+def _restore_user_order(report: ReplayReport, creation_order: Sequence[str],
+                        modification_order: Sequence[str]) -> None:
+    """Reorder per-user dicts to sequential insertion order.
+
+    The merged dicts carry shard order; rebuilding them makes the parallel
+    report byte-identical to the sequential one — same ``repr``, same
+    JSON — not merely equal.
+    """
     report.per_user_traffic = {
         user: report.per_user_traffic[user]
         for user in creation_order if user in report.per_user_traffic}
@@ -426,17 +527,487 @@ def _restore_user_order(report: ReplayReport, trace: Trace) -> None:
         if user in report.per_user_modification_update}
 
 
-#: Fork-inherited state for pool workers: (shards, profile, seed, collect).
-#: Set only for the duration of the Pool.map call; fork children see a
-#: copy-on-write snapshot, so nothing is pickled per task but the shard
-#: index.  (Service profiles carry lambdas and cannot cross a spawn
-#: boundary, which is why the pool requires the fork start method.)
-_FORK_STATE: Optional[tuple] = None
+def _parse_summary(summary: Tuple[bytes, bytes]
+                   ) -> Tuple[List[bytes], List[int]]:
+    blob, owner_blob = summary
+    owners = array("q")
+    owners.frombytes(owner_blob)
+    digests = [blob[unit * _DIGEST_SIZE:(unit + 1) * _DIGEST_SIZE]
+               for unit in range(len(owners))]
+    return digests, list(owners)
 
 
-def _replay_shard_worker(shard_index: int):
-    shards, profile, seed, collect = _FORK_STATE
-    return _replay_records(shards[shard_index], profile, seed, collect)
+def _contested_winners(summaries: Sequence[Optional[Tuple[bytes, bytes]]]
+                       ) -> Tuple[Dict[bytes, int], List[int]]:
+    """Resolve the cross-shard first-occurrence index from shard summaries.
+
+    Returns ``(winners, losers)``: ``winners`` maps each unit digest whose
+    candidates span **more than one shard** to the smallest candidate
+    record index; ``losers`` lists the shard positions that hold at least
+    one contested unit they did not win.  Units confined to a single shard
+    are already settled by that shard's local first-occurrence pass, which
+    is what lets phase 2 skip untouched shards — or vanish entirely.
+    """
+    best: Dict[bytes, int] = {}
+    contested: Dict[bytes, bool] = {}   # dict-as-ordered-set: deterministic
+    parsed: List[Optional[Tuple[List[bytes], List[int]]]] = []
+    for summary in summaries:
+        if not summary:
+            parsed.append(None)
+            continue
+        digests, owners = _parse_summary(summary)
+        parsed.append((digests, owners))
+        for digest, index in zip(digests, owners):
+            current = best.get(digest)
+            if current is None:
+                best[digest] = index
+            else:
+                contested[digest] = True
+                if index < current:
+                    best[digest] = index
+    winners = {digest: best[digest] for digest in contested}
+    losers: List[int] = []
+    for position, entry in enumerate(parsed):
+        if entry is None:
+            continue
+        digests, owners = entry
+        if any(winners.get(digest, index) != index
+               for digest, index in zip(digests, owners)):
+            losers.append(position)
+    return winners, losers
+
+
+def _pack_winner_table(winners: Dict[bytes, int]) -> Tuple[bytes, bytes]:
+    indices = array("q", winners.values())
+    return b"".join(winners.keys()), indices.tobytes()
+
+
+def _unpack_winner_table(digest_blob: bytes,
+                         index_blob: bytes) -> Dict[bytes, int]:
+    indices = array("q")
+    indices.frombytes(index_blob)
+    return {digest_blob[entry * _DIGEST_SIZE:(entry + 1) * _DIGEST_SIZE]:
+            indices[entry] for entry in range(len(indices))}
+
+
+#: Serialises ``os.fork`` against every parent-side lock a fork child
+#: could inherit in the locked state.  Two such locks exist on this path:
+#: the stdio buffer locks (``Process.start`` flushes the std streams
+#: before forking) and the resource tracker's send lock (acquired when a
+#: shared-memory segment is registered, unregistered, or the tracker is
+#: started).  If another thread holds either at the instant of fork, the
+#: child deadlocks the moment *it* needs the lock — flushing at exit, or
+#: attaching the winner table.  So: forking and every tracker-touching
+#: operation take this lock; one pool per thread is then safe.
+_fork_lock = threading.Lock()
+
+
+def _publish_winner_table(winners: Dict[bytes, int]
+                          ) -> Tuple[tuple, Callable[[], None]]:
+    """Publish the contested-winner index for workers to read.
+
+    Preferred transport is one ``multiprocessing.shared_memory`` segment
+    (written once, mapped read-only by every settling worker) so the table
+    is not re-pickled per worker; platforms without shared memory fall
+    back to shipping the packed blobs inline through each pipe.  Returns
+    ``(descriptor, cleanup)`` — call ``cleanup()`` after every settle reply
+    arrived.
+    """
+    digest_blob, index_blob = _pack_winner_table(winners)
+    try:
+        from multiprocessing import shared_memory
+        # Creating a segment registers it with the resource tracker, which
+        # briefly holds the tracker's lock — serialise against forks (see
+        # _fork_lock) so no child is born with that lock held.
+        with _fork_lock:
+            segment = shared_memory.SharedMemory(
+                create=True, size=len(digest_blob) + len(index_blob))
+    except Exception:
+        return ("inline", digest_blob, index_blob), (lambda: None)
+    split = len(digest_blob)
+    segment.buf[:split] = digest_blob
+    segment.buf[split:split + len(index_blob)] = index_blob
+
+    def cleanup() -> None:
+        segment.close()
+        try:
+            with _fork_lock:  # unlink unregisters → tracker lock again
+                segment.unlink()
+        except FileNotFoundError:
+            pass
+
+    return ("shm", segment.name, len(winners)), cleanup
+
+
+def _load_winner_table(descriptor: tuple) -> Dict[bytes, int]:
+    """Worker-side inverse of :func:`_publish_winner_table`."""
+    if descriptor[0] == "inline":
+        return _unpack_winner_table(descriptor[1], descriptor[2])
+    _, name, count = descriptor
+    from multiprocessing import shared_memory
+    # Attach-only: the parent owns the segment's lifetime and unlinks it
+    # after the settle round.  Workers are fork children sharing the
+    # parent's resource tracker, so the attach-side register is a set-add
+    # no-op there and needs no compensating unregister (an unregister here
+    # would strip the parent's own registration and make its unlink race
+    # the tracker).
+    segment = shared_memory.SharedMemory(name=name)
+    split = count * _DIGEST_SIZE
+    try:
+        blob = bytes(segment.buf[:split + count * 8])
+    finally:
+        segment.close()
+    return _unpack_winner_table(blob[:split], blob[split:])
+
+
+def _portable_profile(profile: ServiceProfile) -> ServiceProfile:
+    """A pickle-safe copy of ``profile`` for the worker pipe.
+
+    Profiles carry defer-policy factory lambdas that cannot be pickled;
+    the replay estimator never defers, so the factory is swapped for the
+    no-op policy class before the profile crosses the pipe.  Every other
+    field is plain data, which is what lets the pool replay *ad hoc*
+    profiles (``dataclasses.replace`` variants), not just registry ones.
+    """
+    return replace(profile, defer_factory=NoDefer)
+
+
+def _pool_worker_main(channel, shard: List[Tuple[int, FileRecord]]) -> None:
+    """Worker loop for one shard.
+
+    The shard rides into the process through the fork (``Process`` args —
+    no module global, no pickling); commands and compact results ride the
+    pipe.  Phase-1 candidate state stays resident here between a
+    ``replay`` and its ``settle``, which is what keeps candidates off the
+    IPC boundary entirely.
+    """
+    candidates: Optional[_ShardCandidates] = None
+    try:
+        while True:
+            message = channel.recv()
+            command = message[0]
+            try:
+                if command == "feed":
+                    shard.extend(message[1])
+                    continue
+                if command == "replay":
+                    _, profile, seed, collect = message
+                    report, candidates = _replay_records(
+                        shard, profile, seed, collect)
+                    summary = candidates.summary() \
+                        if candidates is not None and len(candidates) else None
+                    channel.send(("ok", (report, summary)))
+                elif command == "settle":
+                    winners = _load_winner_table(message[1])
+                    credits = candidates.settle(winners) \
+                        if candidates is not None else {}
+                    channel.send(("ok", credits))
+                elif command == "close":
+                    return
+                else:
+                    channel.send(("error", f"unknown command {command!r}"))
+            except Exception:
+                channel.send(("error", traceback.format_exc()))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            channel.close()
+        except OSError:
+            pass
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers or os.cpu_count() or 1
+
+
+#: Records per ``feed`` message when streaming a record source into a live
+#: pool: large enough to amortise pickling, small enough to keep parent
+#: memory bounded by a batch rather than the trace.
+_FEED_BATCH = 1024
+
+
+class ReplayPool:
+    """A persistent, user-sharded pool of replay worker processes.
+
+    Forks one worker per shard **once** and reuses the same processes for
+    every :meth:`replay` call — :func:`replay_all` replays ~18 profiles
+    against one fork instead of forking ~18 pools.  Each worker owns its
+    shard for the pool's lifetime (received through the fork, or streamed
+    in batches by :meth:`from_records`), so per-call IPC is limited to a
+    profile, a seed, and the compact phase-1/phase-2 dedup exchanges.
+
+    Byte-identity contract: ``pool.replay(profile, seed)`` equals
+    ``replay_trace(trace, profile, seed)`` for the trace (or record
+    stream, in stream order) the pool was built from, at any worker
+    count.  Platforms without the ``fork`` start method run the shard
+    pipeline in-process — same results, no speedup.
+    """
+
+    def __init__(self, trace: Trace, workers: Optional[int] = None) -> None:
+        resolved = _resolve_workers(workers)
+        self._shards: List[List[Tuple[int, FileRecord]]] = \
+            _shard_by_user(trace, resolved)
+        self._creation_order, self._modification_order = _user_orders(trace)
+        self._record_count = len(trace)
+        self._channels: list = []
+        self._processes: list = []
+        self._closed = False
+        if resolved > 1 and len(self._shards) > 1:
+            self._start(self._shards)
+
+    @classmethod
+    def from_records(cls, records: Iterable[FileRecord],
+                     workers: Optional[int] = None) -> "ReplayPool":
+        """Build a pool by streaming records into the workers.
+
+        The workers fork *first* with empty shards; records are then
+        assigned to users' shards on first appearance (least-loaded shard,
+        ties to the lowest) and shipped in batches, so the parent never
+        materialises the trace — peak parent memory is one feed batch plus
+        the record source's own state.  Replay results are byte-identical
+        to ``replay_trace`` over the same records in stream order.
+        """
+        resolved = _resolve_workers(workers)
+        pool = cls.__new__(cls)
+        pool._shards = [[] for _ in range(resolved)]
+        pool._creation_order = []
+        pool._modification_order = []
+        pool._record_count = 0
+        pool._channels = []
+        pool._processes = []
+        pool._closed = False
+        if resolved > 1:
+            pool._start(pool._shards)
+        live = bool(pool._processes)
+        buffers: List[List[Tuple[int, FileRecord]]] = \
+            [[] for _ in range(resolved)]
+        loads = [0] * resolved
+        assignment: Dict[str, int] = {}
+        seen_modified: Set[str] = set()
+        for index, record in enumerate(records):
+            user = record.user
+            slot = assignment.get(user)
+            if slot is None:
+                slot = min(range(resolved), key=lambda idx: loads[idx])
+                assignment[user] = slot
+                pool._creation_order.append(user)
+            loads[slot] += 1
+            if record.modify_count > 0 and user not in seen_modified:
+                seen_modified.add(user)
+                pool._modification_order.append(user)
+            pool._record_count += 1
+            if live:
+                buffers[slot].append((index, record))
+                if len(buffers[slot]) >= _FEED_BATCH:
+                    pool._channels[slot].send(("feed", buffers[slot]))
+                    buffers[slot] = []
+            else:
+                pool._shards[slot].append((index, record))
+        if live:
+            for slot, batch in enumerate(buffers):
+                if batch:
+                    pool._channels[slot].send(("feed", batch))
+        else:
+            pool._shards = [shard for shard in pool._shards if shard]
+        return pool
+
+    @classmethod
+    def from_shards(cls, shards: Iterable[Trace],
+                    workers: Optional[int] = None) -> "ReplayPool":
+        """Build a pool from a shard stream (e.g. ``iter_trace_shards``).
+
+        Equivalent to :meth:`from_records` over the flattened stream: the
+        replay's sequential reference is the concatenated shard ordering.
+        """
+        return cls.from_records(
+            (record for shard in shards for record in shard),
+            workers=workers)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _start(self, shards: List[List[Tuple[int, FileRecord]]]) -> None:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            return
+        with _fork_lock:
+            try:
+                # Start the resource tracker *before* forking so every
+                # worker inherits it: attaching the shared-memory winner
+                # table then re-registers the same name with the one shared
+                # tracker (a set-add no-op) instead of each worker spawning
+                # a private tracker that would race the parent's unlink at
+                # exit.
+                from multiprocessing import resource_tracker
+                resource_tracker.ensure_running()
+            except (ImportError, AttributeError, OSError):
+                # No tracker on this platform: the shm path degrades to
+                # each worker tracking its own attach, which is still
+                # correct.
+                pass
+            for shard in shards:
+                parent_channel, child_channel = context.Pipe()
+                process = context.Process(target=_pool_worker_main,
+                                          args=(child_channel, shard),
+                                          daemon=True)
+                process.start()
+                child_channel.close()
+                self._channels.append(parent_channel)
+                self._processes.append(process)
+
+    def close(self) -> None:
+        """Shut the workers down; the pool is unusable afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for channel in self._channels:
+            try:
+                channel.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for channel in self._channels:
+            try:
+                channel.close()
+            except OSError:
+                pass
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=10)
+        self._channels = []
+        self._processes = []
+
+    def __enter__(self) -> "ReplayPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except (OSError, ValueError, AttributeError, TypeError):
+            # Interpreter teardown: pipes and process handles may already
+            # be half-destroyed; __del__ must never raise.
+            pass
+
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    @property
+    def worker_count(self) -> int:
+        """Live worker processes (0 when running shards in-process)."""
+        return len(self._processes)
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self, profile: ServiceProfile, seed: int = 0) -> ReplayReport:
+        """Replay the pool's trace under ``profile``; byte-identical to
+        :func:`replay_trace` on the same records."""
+        report, _, _ = self._replay_full(profile, seed)
+        return report
+
+    def replay_audited(self, profile: ServiceProfile,
+                       seed: int = 0) -> ReplayReport:
+        """Replay and verify the replay-conservation invariant over the
+        merge: shard reports must sum to the merged report, with phase-2
+        settle credits moving bytes from ``traffic_bytes`` into
+        ``saved_by_dedup`` exactly, user by user.  Raises the first
+        :class:`~repro.obs.AuditViolation` found.
+        """
+        from ..obs.audit import verify_replay_merge, verify_replay_report
+        report, parts, credits = self._replay_full(profile, seed)
+        violations = verify_replay_merge(parts, report,
+                                         settle_credits=credits)
+        violations.extend(verify_replay_report(report))
+        if violations:
+            raise violations[0]
+        return report
+
+    def _replay_full(self, profile: ServiceProfile, seed: int
+                     ) -> Tuple[ReplayReport, List[ReplayReport],
+                                Dict[str, int]]:
+        if self._closed:
+            raise RuntimeError("replay pool is closed")
+        collect = (profile.dedup.enabled
+                   and profile.dedup.scope is DedupScope.CROSS_USER)
+        local_candidates: List[Optional[_ShardCandidates]] = []
+        if self._processes:
+            safe_profile = _portable_profile(profile)
+            for channel in self._channels:
+                channel.send(("replay", safe_profile, seed, collect))
+            results = [self._receive(channel) for channel in self._channels]
+            parts = [part for part, _ in results]
+            summaries = [summary for _, summary in results]
+        else:
+            parts = []
+            summaries = []
+            for shard in self._shards:
+                part, candidates = _replay_records(shard, profile, seed,
+                                                   collect)
+                parts.append(part)
+                local_candidates.append(candidates)
+                summaries.append(
+                    candidates.summary()
+                    if candidates is not None and len(candidates) else None)
+        if not parts:
+            empty = ReplayReport(service=profile.service,
+                                 access=profile.access.value)
+            return empty, [], {}
+        merged = ReplayReport.merge(parts)
+        credits: Dict[str, int] = {}
+        if collect:
+            winners, losers = _contested_winners(summaries)
+            if winners and losers:
+                credits = self._settle(winners, losers, local_candidates)
+                adjustment = sum(credits.values())
+                merged.traffic_bytes -= adjustment
+                merged.saved_by_dedup += adjustment
+                for user, value in credits.items():
+                    merged.per_user_traffic[user] -= value
+        _restore_user_order(merged, self._creation_order,
+                            self._modification_order)
+        return merged, parts, credits
+
+    def _settle(self, winners: Dict[bytes, int], losers: Sequence[int],
+                local_candidates: Sequence[Optional[_ShardCandidates]]
+                ) -> Dict[str, int]:
+        shard_credits: List[Dict[str, int]] = []
+        if self._processes:
+            descriptor, cleanup = _publish_winner_table(winners)
+            try:
+                for position in losers:
+                    self._channels[position].send(("settle", descriptor))
+                shard_credits = [self._receive(self._channels[position])
+                                 for position in losers]
+            finally:
+                cleanup()
+        else:
+            for position in losers:
+                candidates = local_candidates[position]
+                shard_credits.append(
+                    candidates.settle(winners) if candidates else {})
+        credits: Dict[str, int] = {}
+        for per_user in shard_credits:
+            for user, value in per_user.items():
+                credits[user] = credits.get(user, 0) + value
+        return credits
+
+    def _receive(self, channel):
+        try:
+            status, payload = channel.recv()
+        except (EOFError, OSError):
+            self.close()
+            raise RuntimeError("replay worker exited unexpectedly")
+        if status != "ok":
+            self.close()
+            raise RuntimeError(f"replay worker failed:\n{payload}")
+        return payload
 
 
 def replay_trace_parallel(trace: Trace, profile: ServiceProfile,
@@ -444,47 +1015,18 @@ def replay_trace_parallel(trace: Trace, profile: ServiceProfile,
                           seed: int = 0) -> ReplayReport:
     """Sharded, multi-process replay; byte-identical to :func:`replay_trace`.
 
-    Records are sharded by user (exact for SAME_USER dedup and BDS batch
-    windows); CROSS_USER dedup is settled by the two-phase candidate/merge
-    protocol.  ``workers=None`` uses the CPU count; ``workers=1`` runs the
-    shard pipeline in-process (useful for testing the merge path without
-    process overhead).  On platforms without the ``fork`` start method the
-    shards also run in-process — same results, no speedup.
+    One-shot convenience over :class:`ReplayPool` (which is the API to use
+    when replaying several profiles against one trace — the pool forks
+    once and is reused).  Records are sharded by user (exact for SAME_USER
+    dedup and BDS batch windows); CROSS_USER dedup is settled by the
+    two-phase candidate/merge protocol.  ``workers=None`` uses the CPU
+    count; ``workers=1`` runs the shard pipeline in-process (useful for
+    testing the merge path without process overhead).  On platforms
+    without the ``fork`` start method the shards also run in-process —
+    same results, no speedup.
     """
-    if workers is not None and workers < 1:
-        raise ValueError("workers must be >= 1")
-    workers = workers or os.cpu_count() or 1
-    collect = (profile.dedup.enabled
-               and profile.dedup.scope is DedupScope.CROSS_USER)
-    shards = _shard_by_user(trace, workers)
-    if not shards:
-        return ReplayReport(service=profile.service,
-                            access=profile.access.value)
-
-    results = None
-    if workers > 1 and len(shards) > 1:
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
-            context = None
-        if context is not None:
-            global _FORK_STATE
-            _FORK_STATE = (shards, profile, seed, collect)
-            try:
-                with context.Pool(processes=min(workers, len(shards))) as pool:
-                    results = pool.map(_replay_shard_worker,
-                                       range(len(shards)))
-            finally:
-                _FORK_STATE = None
-    if results is None:
-        results = [_replay_records(shard, profile, seed, collect)
-                   for shard in shards]
-
-    report = ReplayReport.merge([shard_report for shard_report, _ in results])
-    if collect:
-        _resolve_cross_user(report, [entries for _, entries in results])
-    _restore_user_order(report, trace)
-    return report
+    with ReplayPool(trace, workers=workers) as pool:
+        return pool.replay(profile, seed=seed)
 
 
 def modification_share(report: ReplayReport) -> Dict[str, float]:
@@ -520,20 +1062,37 @@ def traffic_overuse_fraction(report: ReplayReport,
     return sum(1 for share in shares.values() if share > threshold) / len(shares)
 
 
-def replay_all(trace: Trace,
+def replay_all(trace: Optional[Trace] = None,
                services: Optional[Sequence[str]] = None,
                access: AccessMethod = AccessMethod.PC,
                seed: int = 0,
-               workers: int = 1) -> List[ReplayReport]:
-    """Replay the trace under every service, sorted by estimated traffic."""
+               workers: int = 1,
+               pool: Optional[ReplayPool] = None) -> List[ReplayReport]:
+    """Replay the trace under every service, sorted by estimated traffic.
+
+    With ``workers > 1`` a single :class:`ReplayPool` is forked once and
+    reused across all profiles; pass ``pool`` to reuse an existing pool
+    (e.g. one streamed from ``iter_trace_records``) — the caller keeps
+    ownership and must close it.
+    """
     from ..client import SERVICES
     names = services or SERVICES
-    if workers > 1:
-        reports = [replay_trace_parallel(trace, service_profile(name, access),
-                                         workers=workers, seed=seed)
-                   for name in names]
-    else:
-        reports = [replay_trace(trace, service_profile(name, access), seed=seed)
-                   for name in names]
+    owns_pool = False
+    if pool is None and workers > 1 and trace is not None:
+        pool = ReplayPool(trace, workers=workers)
+        owns_pool = True
+    try:
+        if pool is not None:
+            reports = [pool.replay(service_profile(name, access), seed=seed)
+                       for name in names]
+        else:
+            if trace is None:
+                raise ValueError("replay_all needs a trace or a pool")
+            reports = [replay_trace(trace, service_profile(name, access),
+                                    seed=seed)
+                       for name in names]
+    finally:
+        if owns_pool:
+            pool.close()
     reports.sort(key=lambda report: report.traffic_bytes)
     return reports

@@ -7,4 +7,5 @@ def account(send, wire_bytes, scale):
     payload = float(wire_bytes)  # expect: REP010
     traffic_bytes /= 2  # expect: REP010
     send(overhead_bytes=wire_bytes / 3)  # expect: REP010
-    return traffic_bytes, payload
+    deduped_wire = int(wire_bytes * scale / 3)  # expect: REP010
+    return traffic_bytes, payload, deduped_wire

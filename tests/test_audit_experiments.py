@@ -106,3 +106,39 @@ def test_recording_audit_flag_raises_on_corruption():
             session.create_random_file("f.bin", 16 * KB, seed=1)
             session.run_until_idle()
             session.meter.record(0.0, Direction.DOWN, 0, 12345, kind="ghost")
+
+
+def test_replay_merge_balances_settle_credits():
+    """With settle_credits, raw phase-one shard reports must balance the
+    final merged report: traffic down by the credit total, dedup savings
+    up by the same total, each user's traffic down by their own credit."""
+    a = ReplayReport(service="UbuntuOne", access="pc", file_count=2,
+                     traffic_bytes=100, data_update_bytes=80,
+                     overhead_bytes=20, saved_by_dedup=5,
+                     per_user_traffic={"u1": 100},
+                     per_user_modification_traffic={"u1": 10},
+                     per_user_modification_update={"u1": 5})
+    b = ReplayReport(service="UbuntuOne", access="pc", file_count=3,
+                     traffic_bytes=50, data_update_bytes=40,
+                     overhead_bytes=10, per_user_traffic={"u2": 50})
+    merged = ReplayReport.merge([a, b])
+    credits = {"u2": 7}
+    merged.traffic_bytes -= 7
+    merged.saved_by_dedup += 7
+    merged.per_user_traffic["u2"] -= 7
+    assert verify_replay_merge([a, b], merged, settle_credits=credits) == []
+    # A settlement that only touched the totals but not the per-user dict
+    # is a conservation violation.
+    merged.per_user_traffic["u2"] += 7
+    assert any(v.invariant == "replay-conservation"
+               for v in verify_replay_merge([a, b], merged,
+                                            settle_credits=credits))
+    merged.per_user_traffic["u2"] -= 7
+    # Negative credits (bytes conjured into traffic) are rejected outright.
+    assert any("negative" in str(v)
+               for v in verify_replay_merge([a, b], merged,
+                                            settle_credits={"u2": -7}))
+    # Credits for a user no shard ever saw are rejected.
+    assert any("unknown user" in str(v)
+               for v in verify_replay_merge([a, b], merged,
+                                            settle_credits={"ghost": 7}))

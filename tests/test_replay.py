@@ -114,8 +114,9 @@ def _zero_size_record(user, index, segment_base=None):
 
 @pytest.mark.parametrize("service", ["Dropbox", "UbuntuOne"])
 def test_zero_size_files_under_both_dedup_granularities(service):
-    """Zero-byte files hit the `total_len or 1` guard: no division by zero,
-    no wire bytes, and — crucially — no phantom dedup savings (Dropbox is
+    """Zero-byte files take the explicit empty-units branch (total_len ==
+    0, formerly a silent `or 1` guard): no division by zero, no wire
+    bytes, and — crucially — no phantom dedup savings (Dropbox is
     block-granularity, UbuntuOne full-file, so both code paths run).
     Records 0 and 1 share content identity, so the duplicate-hit path runs
     too — a duplicate of nothing must still save nothing."""

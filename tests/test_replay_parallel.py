@@ -266,3 +266,302 @@ def test_sharded_generation_feeds_parallel_replay():
     # though per-record modification draws are index-keyed.
     assert b.file_count == a.file_count
     assert b.saved_by_dedup == a.saved_by_dedup
+
+
+# ---------------------------------------------------------------------------
+# persistent ReplayPool: reuse, reentrancy, streaming construction
+# ---------------------------------------------------------------------------
+
+def test_replay_pool_is_reused_across_profiles(trace):
+    """One fork, many profiles — the replay_all shape.  Every profile's
+    result through the shared pool must match its own sequential run."""
+    from repro.trace import ReplayPool
+    with ReplayPool(trace, workers=4) as pool:
+        assert pool.record_count == len(trace)
+        for service in SERVICES:
+            profile = service_profile(service, AccessMethod.PC)
+            assert canonical(pool.replay(profile, seed=7)) \
+                == canonical(replay_trace(trace, profile, seed=7))
+
+
+def test_replay_all_pool_reuse_matches_sequential(trace):
+    from repro.trace import replay_all
+    parallel = replay_all(trace, seed=7, workers=4)
+    sequential = replay_all(trace, seed=7, workers=1)
+    assert [canonical(r) for r in parallel] \
+        == [canonical(r) for r in sequential]
+
+
+def test_replay_all_accepts_external_pool(trace):
+    from repro.trace import ReplayPool, replay_all
+    with ReplayPool(trace, workers=2) as pool:
+        via_pool = replay_all(seed=7, pool=pool)
+        # The caller keeps ownership: the pool must still be usable.
+        profile = service_profile("Dropbox", AccessMethod.PC)
+        assert canonical(pool.replay(profile, seed=7)) \
+            == canonical(replay_trace(trace, profile, seed=7))
+    assert [canonical(r) for r in via_pool] \
+        == [canonical(r) for r in replay_all(trace, seed=7, workers=1)]
+
+
+def test_closed_pool_refuses_to_replay(trace):
+    from repro.trace import ReplayPool
+    pool = ReplayPool(trace, workers=2)
+    pool.close()
+    pool.close()      # idempotent
+    with pytest.raises(RuntimeError):
+        pool.replay(service_profile("Dropbox", AccessMethod.PC))
+
+
+def test_two_pools_coexist_without_clobbering(trace):
+    """Regression for the _FORK_STATE module global: two live pools used
+    to share (and clobber) one fork-state slot.  Interleaved replays
+    through two pools must both stay byte-identical to sequential."""
+    from repro.trace import ReplayPool
+    cross = service_profile("UbuntuOne", AccessMethod.PC)
+    plain = service_profile("Dropbox", AccessMethod.PC)
+    with ReplayPool(trace, workers=2) as a, ReplayPool(trace, workers=4) as b:
+        for _ in range(2):
+            assert canonical(a.replay(cross, seed=3)) \
+                == canonical(replay_trace(trace, cross, seed=3))
+            assert canonical(b.replay(plain, seed=3)) \
+                == canonical(replay_trace(trace, plain, seed=3))
+            assert canonical(b.replay(cross, seed=3)) \
+                == canonical(replay_trace(trace, cross, seed=3))
+
+
+def test_parallel_replay_is_reentrant_across_threads(trace):
+    """Concurrent replay_trace_parallel calls from different threads (each
+    forking its own one-shot pool) must not interfere — the second
+    _FORK_STATE regression shape."""
+    from concurrent.futures import ThreadPoolExecutor
+    profiles = [service_profile("UbuntuOne", AccessMethod.PC),
+                service_profile("Dropbox", AccessMethod.PC)]
+    expected = {p.name: canonical(replay_trace(trace, p, seed=5))
+                for p in profiles}
+    jobs = profiles * 3
+    with ThreadPoolExecutor(max_workers=4) as executor:
+        results = list(executor.map(
+            lambda p: (p.name,
+                       canonical(replay_trace_parallel(trace, p, workers=2,
+                                                       seed=5))),
+            jobs))
+    assert len(results) == len(jobs)
+    for name, result in results:
+        assert result == expected[name]
+
+
+def test_from_records_streams_byte_identical(trace):
+    """ReplayPool.from_records over a record stream equals replay of the
+    materialised trace: the parent never needs the full record list."""
+    from repro.trace import ReplayPool
+    for workers in (1, 3):
+        with ReplayPool.from_records(iter(trace.records),
+                                     workers=workers) as pool:
+            assert pool.record_count == len(trace)
+            for service in ("UbuntuOne", "GoogleDrive"):
+                profile = service_profile(service, AccessMethod.PC)
+                assert canonical(pool.replay(profile, seed=7)) \
+                    == canonical(replay_trace(trace, profile, seed=7))
+
+
+def test_from_records_generator_stream_parity():
+    """End-to-end streaming: iter_trace_records feeds the pool directly
+    and matches the materialised generate_trace replay byte for byte."""
+    from repro.trace import ReplayPool, iter_trace_records
+    whole = generate_trace(scale=0.01, seed=11)
+    profile = service_profile("UbuntuOne", AccessMethod.PC)
+    with ReplayPool.from_records(iter_trace_records(scale=0.01, seed=11),
+                                 workers=4) as pool:
+        assert canonical(pool.replay(profile, seed=2)) \
+            == canonical(replay_trace(whole, profile, seed=2))
+
+
+def test_from_shards_matches_assembled_order():
+    from repro.trace import ReplayPool
+    assembled = Trace(records=[record
+                               for shard in iter_trace_shards(
+                                   scale=0.01, seed=11, shard_users=3)
+                               for record in shard])
+    profile = service_profile("UbuntuOne", AccessMethod.PC)
+    with ReplayPool.from_shards(iter_trace_shards(scale=0.01, seed=11,
+                                                  shard_users=3),
+                                workers=4) as pool:
+        assert canonical(pool.replay(profile, seed=2)) \
+            == canonical(replay_trace(assembled, profile, seed=2))
+
+
+# ---------------------------------------------------------------------------
+# integer-exact dedup accounting (the >2**53 regression)
+# ---------------------------------------------------------------------------
+
+def test_dedup_accounting_is_integer_exact_above_2_53():
+    """Partial block dedup on a file whose wire exceeds 2**53: the ledger
+    must hold the exact integer quotient, not a float-rounded one.
+
+    The retired expression ``int(wire * shipped / total_len)`` computed
+    the quotient as a float, which above 2**53 cannot represent every
+    integer — this pins the exact value and proves the float form would
+    have differed (i.e. the test actually guards the regression).
+    """
+    from repro.trace.replay import _wire_payload
+    size = (1 << 54) + 12_345     # wire > 2**53 by construction
+    base = service_profile("UbuntuOne", AccessMethod.PC)
+    profile = replace(base, dedup=DedupConfig(
+        granularity=DedupGranularity.BLOCK, scope=DedupScope.CROSS_USER,
+        block_size=UNIT_SIZE))
+    # u0 ships blocks {1,2,3}; u1's first aligned block duplicates u0's,
+    # so u1 ships 2 of its 3 equal-length blocks.
+    trace = Trace(records=[
+        _record("u0", 0, [1, 2, 3], size, created_at=0.0),
+        _record("u1", 1, [1, 4, 5], size, created_at=1.0),
+    ])
+    wire = _wire_payload(profile, size, size)
+    assert wire > 2 ** 53
+    shipped, total_len = 2 * UNIT_SIZE, 3 * UNIT_SIZE
+    expected_saved = wire - wire * shipped // total_len
+    # The float quotient is already wrong at this magnitude — the exact
+    # check below would not have held under the old expression.
+    assert int(wire * shipped / total_len) != wire * shipped // total_len
+    sequential = replay_trace(trace, profile, seed=0)
+    assert sequential.saved_by_dedup == expected_saved
+    # Phase 2 settles u1's lost block with the same integer expression.
+    for workers in (1, 2):
+        parallel = replay_trace_parallel(trace, profile, workers=workers,
+                                         seed=0)
+        assert canonical(parallel) == canonical(sequential)
+
+
+def test_zero_size_records_under_cross_user_dedup_parallel():
+    """Size-0 records have no dedup units (total_len == 0): the explicit
+    empty-units branch ships the wire unchanged, emits no candidates, and
+    the parallel protocol agrees at every worker count."""
+    base = service_profile("UbuntuOne", AccessMethod.PC)
+    for granularity in (DedupGranularity.FULL_FILE, DedupGranularity.BLOCK):
+        profile = replace(base, dedup=DedupConfig(
+            granularity=granularity, scope=DedupScope.CROSS_USER,
+            block_size=UNIT_SIZE))
+        trace = Trace(records=[
+            _record("u0", 0, [], 0, created_at=0.0),
+            _record("u1", 1, [], 0, created_at=1.0),   # identical empty key
+            _record("u0", 2, [7, 8], 2 * UNIT_SIZE, created_at=2.0),
+            _record("u1", 3, [7, 8], 2 * UNIT_SIZE, created_at=3.0),
+        ])
+        sequential = replay_trace(trace, profile, seed=0)
+        # Zero-size records save nothing; the real duplicate still does.
+        assert sequential.saved_by_dedup > 0
+        assert sequential.traffic_bytes > 0
+        for workers in (2, 4):
+            parallel = replay_trace_parallel(trace, profile,
+                                             workers=workers, seed=0)
+            assert canonical(parallel) == canonical(sequential)
+
+
+# ---------------------------------------------------------------------------
+# shard assignment determinism
+# ---------------------------------------------------------------------------
+
+def test_shard_by_user_ties_by_first_appearance():
+    """Equal-count users must be placed in first-appearance order (the
+    documented tie-break), so shard contents are a pure function of the
+    trace and the shard count."""
+    records = []
+    index = 0
+    for user in ("alice", "bob", "carol"):
+        for _ in range(2):
+            records.append(_record(user, index, [index], UNIT_SIZE,
+                                   created_at=float(index)))
+            index += 1
+    shards = _shard_by_user(Trace(records=records), 2)
+    # Greedy heaviest-first with a stable sort: alice -> shard 0,
+    # bob -> shard 1, carol ties at load 2/2 -> lowest index, shard 0.
+    assert [sorted({r.user for _, r in shard}) for shard in shards] \
+        == [["alice", "carol"], ["bob"]]
+
+
+# ---------------------------------------------------------------------------
+# phase-2 short-circuit and the winner-table transports
+# ---------------------------------------------------------------------------
+
+def _single_shard_unit_trace():
+    """Plenty of dedup, zero contention: every duplicate is within one
+    user, so no unit has candidates in more than one shard and phase 2
+    must short-circuit entirely."""
+    records = []
+    index = 0
+    for user in ("u0", "u1", "u2"):
+        base_id = 100 * (int(user[1]) + 1)
+        for _ in range(4):
+            records.append(_record(user, index, [base_id, base_id + 1],
+                                   2 * UNIT_SIZE, created_at=float(index)))
+            index += 1
+    return Trace(records=records)
+
+
+def test_phase2_short_circuit_parity_across_cross_user_profiles():
+    from repro.client import all_profiles
+    trace = _single_shard_unit_trace()
+    cross_profiles = [
+        profile
+        for access in (AccessMethod.PC, AccessMethod.MOBILE)
+        for profile in all_profiles(access)
+        if profile.dedup.enabled
+        and profile.dedup.scope is DedupScope.CROSS_USER]
+    assert cross_profiles, "registry lost its CROSS_USER profiles"
+    for profile in cross_profiles:
+        sequential = replay_trace(trace, profile, seed=0)
+        assert sequential.saved_by_dedup > 0   # dedup genuinely fired
+        for workers in (2, 3, 8):
+            parallel = replay_trace_parallel(trace, profile,
+                                             workers=workers, seed=0)
+            assert canonical(parallel) == canonical(sequential), \
+                (profile.name, workers)
+
+
+def test_contested_winners_skips_single_shard_units():
+    from repro.trace.replay import _contested_winners, _unit_digest
+    from array import array
+    d = [_unit_digest(bytes([n]) * 4) for n in range(4)]
+
+    def summary(pairs):
+        return (b"".join(digest for digest, _ in pairs),
+                array("q", [idx for _, idx in pairs]).tobytes())
+
+    # Disjoint digests across shards: nothing contested, nobody settles.
+    winners, losers = _contested_winners(
+        [summary([(d[0], 0)]), summary([(d[1], 5)]), None])
+    assert winners == {} and losers == []
+    # d[2] contested across shards 0 and 2: smallest index wins, only the
+    # losing shard is listed.
+    winners, losers = _contested_winners(
+        [summary([(d[2], 3), (d[0], 0)]), None, summary([(d[2], 9)])])
+    assert winners == {d[2]: 3}
+    assert losers == [2]
+
+
+def test_winner_table_round_trips_via_both_transports():
+    from repro.trace.replay import (_load_winner_table, _pack_winner_table,
+                                    _publish_winner_table, _unit_digest)
+    winners = {_unit_digest(bytes([n]) * 8): n * 17 for n in range(5)}
+    descriptor, cleanup = _publish_winner_table(winners)
+    try:
+        assert _load_winner_table(descriptor) == winners
+    finally:
+        cleanup()
+    blob, indices = _pack_winner_table(winners)
+    assert _load_winner_table(("inline", blob, indices)) == winners
+
+
+def test_settle_credits_conserve_bytes_under_audit():
+    """replay_audited proves the two-phase settlement conserves bytes:
+    traffic lost == dedup saving gained, user by user."""
+    from repro.trace import ReplayPool
+    trace = _cross_user_duplicate_trace()
+    base = service_profile("UbuntuOne", AccessMethod.PC)
+    profile = replace(base, dedup=DedupConfig(
+        granularity=DedupGranularity.BLOCK, scope=DedupScope.CROSS_USER,
+        block_size=2 * UNIT_SIZE))
+    with ReplayPool(trace, workers=4) as pool:
+        report = pool.replay_audited(profile, seed=0)
+    assert canonical(report) == canonical(replay_trace(trace, profile,
+                                                       seed=0))
