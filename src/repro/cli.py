@@ -50,6 +50,7 @@ def cmd_list(_args) -> int:
         ["upgrades", "savings from retrofitting each recommendation"],
         ["overuse", "per-user traffic-overuse statistic ([36])"],
         ["fleet", "shared-folder fleet: N writers, fan-out amplification"],
+        ["backends", "Experiment 10: storage backends × file-size mixes"],
         ["audit", "run an experiment under the byte-conservation auditor"],
         ["trace-run", "record an experiment's wire-level span trace (JSONL)"],
         ["lint", "reprolint: static determinism/conservation invariants"],
@@ -311,7 +312,7 @@ def cmd_replay(args) -> int:
 #: a different slice of the wire model (experiments 1–8 and the parallel
 #: trace replay) while staying fast enough for CI.
 OBS_TARGETS = ("exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7",
-               "exp8", "replay", "all")
+               "exp8", "exp10", "replay", "all")
 
 
 def _obs_run_target(args, target: str) -> str:
@@ -361,6 +362,10 @@ def _obs_run_target(args, target: str) -> str:
                         file_count=2, file_size=512 * KB, unit_size=128 * KB)
         return (f"experiment 8 (faults at rate {args.fault_rate:g}, "
                 f"{service})")
+    if target == "exp10":
+        from .core import run_backend_cell
+        run_backend_cell("packshard", "paper", files=24)
+        return "experiment 10 (packed-shard bundled commit)"
     if target == "replay":
         from .trace import ReplayPool, generate_trace
         trace = generate_trace(scale=args.scale, seed=args.seed)
@@ -448,6 +453,37 @@ def cmd_lint(args) -> int:
     return 1 if (result.findings or stale_fails) else 0
 
 
+def cmd_backends(args) -> int:
+    from .core import experiment10_backends
+    from .obs import AuditViolation, audit_hub, recording
+    from .reporting import render_backend_matrix
+
+    title = f"Experiment 10 — storage backends (seed {args.seed})"
+    if args.audit:
+        try:
+            with recording() as hub:
+                cells = experiment10_backends(files=args.files,
+                                              seed=args.seed)
+            audit_hub(hub)
+        except AuditViolation as violation:
+            print(f"AUDIT FAILED: {violation}")
+            return 1
+    else:
+        cells = experiment10_backends(files=args.files, seed=args.seed)
+    print(render_backend_matrix(cells, title=title))
+    by_key = {(c.backend, c.mix): c for c in cells}
+    chunk = by_key.get(("chunk", "paper"))
+    shard = by_key.get(("packshard", "paper"))
+    if chunk and shard and shard.rest_ops_per_file > 0:
+        ratio = chunk.rest_ops_per_file / shard.rest_ops_per_file
+        print(f"paper mix: packshard issues {ratio:.1f}x fewer REST ops/file "
+              f"than the chunk store")
+    if args.audit:
+        print("conservation audit passed (incl. bundle-conservation and "
+              "rest-conservation)")
+    return 0
+
+
 def cmd_audit(args) -> int:
     return _cmd_observed(args, audit=True)
 
@@ -523,6 +559,10 @@ def build_parser() -> argparse.ArgumentParser:
            "--link": dict(choices=("mn", "bj"), default="mn"),
            "--domains": dict(type=int, default=1),
            "--trace": dict(default=None),
+           "--audit": dict(action="store_true")})
+    add("backends", cmd_backends,
+        **{"--files": dict(type=int, default=None),
+           "--seed": dict(type=int, default=0),
            "--audit": dict(action="store_true")})
     add("overuse", cmd_overuse,
         **{"--scale": dict(type=float, default=0.03),

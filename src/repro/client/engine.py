@@ -97,6 +97,8 @@ class ClientStats:
     transient_errors: int = 0
     retries: int = 0
     retry_giveups: int = 0
+    bundle_commits: int = 0
+    bundled_files: int = 0
     batch_sizes: List[int] = field(default_factory=list)
     ops_per_sync: List[int] = field(default_factory=list)
 
@@ -323,6 +325,13 @@ class SyncClient:
         uploads = [c for c in uploads if c not in renames]
         for change in renames:
             duration += self._sync_one(change)
+
+        bundle = self.profile.bundle
+        if bundle.enabled and len(uploads) > 1:
+            bundled = [c for c in uploads if self._bundle_eligible(c)]
+            if len(bundled) > 1:
+                uploads = [c for c in uploads if c not in bundled]
+                duration += self._sync_bundled(bundled)
 
         bds = self.profile.bds
         if uploads and bds.mode is BdsMode.FULL and len(uploads) > 1:
@@ -695,6 +704,111 @@ class SyncClient:
             self._shadow[change.path] = content
             self.stats.files_synced += 1
             self.stats.full_file_syncs += 1
+        if overhead.notify_down:
+            duration += self.channel.notify(overhead.notify_down)
+        return duration
+
+    def _bundle_eligible(self, change: PendingChange) -> bool:
+        """Small files whose sync has no per-file server semantics to lose.
+
+        Bundling targets small creations and whole-file overwrites; files
+        over the bundle size cap, vanished paths, and modifications that
+        would ride the IDS delta path sync individually.
+        """
+        try:
+            content = self.folder.get(change.path)
+        except KeyError:
+            return False
+        if content.size > self.profile.bundle.max_file_bytes:
+            return False
+        if (self.profile.uses_ids and not change.created
+                and change.path in self._shadow
+                and self._shadow[change.path].size > 0):
+            return False  # delta sync is cheaper than re-shipping the file
+        return True
+
+    def _sync_bundled(self, uploads: List[PendingChange]) -> float:
+        """Bundle small files into one wire transaction (one handshake,
+        one packed payload, one commit exchange).
+
+        The per-file cost breakdown is preserved as a ledger on the
+        ``bundle-commit`` span so the ``bundle-conservation`` audit can
+        balance bundled wire bytes against per-file attribution.
+        """
+        profile = self.profile
+        overhead = profile.overhead
+        start = self.sim.now
+        duration = self._polls(overhead.requests_per_sync - 1)
+        total_payload = 0
+        commits = []
+        ledger = []
+
+        all_units = []
+        for change in uploads:
+            content = self.folder.get(change.path)
+            unit_size = profile.storage_chunk_size or max(content.size, 1)
+            units = chunk_data(content.data, unit_size)
+            all_units.append((change, content, units))
+        digests = [u.digest for _, _, units in all_units for u in units]
+        missing = digests
+        if profile.dedup.enabled and digests:
+            duration += self._guarded_exchange(
+                up_meta=_NEG_BASE_UP + _NEG_UP_PER_UNIT * len(digests),
+                down_meta=_NEG_BASE_DOWN + _NEG_DOWN_PER_UNIT * len(digests),
+                kind="dedup-negotiation",
+            )
+            missing = self.server.negotiate(self.user, digests)
+        missing_set = set(missing)
+
+        for change, content, units in all_units:
+            keys, sizes = [], []
+            file_wire = 0
+            for unit in units:
+                if unit.digest in missing_set:
+                    wire = profile.upload_compression.wire_size(
+                        Content(unit.data))
+                    file_wire += wire
+                    total_payload += wire
+                    key = self.server.upload_chunk(self.user, unit.digest,
+                                                   unit.data)
+                    missing_set.discard(unit.digest)
+                else:
+                    key = self.server.resolve(self.user, unit.digest)
+                    self.stats.dedup_skipped_units += 1
+                    self.stats.dedup_skipped_bytes += unit.length
+                keys.append(key)
+                sizes.append(unit.length)
+            commits.append((change, content,
+                            [u.digest for u in units], keys, sizes))
+            ledger.append([change.path, file_wire, content.size])
+
+        manifest_bytes = profile.bundle.per_file_bytes * len(commits)
+        duration += self._guarded_exchange(
+            up_payload=total_payload,
+            up_meta=overhead.meta_up + manifest_bytes
+            + int(overhead.per_byte_factor * total_payload),
+            down_meta=overhead.meta_down,
+            kind="bundle-commit",
+        )
+        # Record the ledger as soon as the bytes are on the wire: even if a
+        # later per-file commit fails (quota), every bundled wire byte stays
+        # explained, which is what bundle-conservation checks.
+        if self.recorder is not None:
+            self.recorder.record_span(
+                "bundle-commit", "bundle", "client", start, start + duration,
+                files=len(ledger), payload=total_payload, ledger=ledger)
+        for change, content, digests_, keys, sizes in commits:
+            self.server.commit(self.user, change.path, content.size,
+                               content.md5, digests_, keys, sizes)
+            self._shadow[change.path] = content
+            if profile.uses_ids:
+                self._signature_cache[change.path] = (
+                    content,
+                    compute_signature(content.data, profile.delta_block))
+            self.stats.files_synced += 1
+            self.stats.full_file_syncs += 1
+            self.stats.bundled_files += 1
+        self.stats.bundle_commits += 1
         if overhead.notify_down:
             duration += self.channel.notify(overhead.notify_down)
         return duration

@@ -64,6 +64,25 @@ class BdsSupport:
 
 
 @dataclass(frozen=True)
+class BundleSupport:
+    """Small-file bundling: coalesce deferred commits into one transaction.
+
+    Where BDS shares a connection across per-file commits, bundling goes
+    further and ships one packed payload with a per-file manifest — one
+    handshake, one commit exchange, per-file ledger entries preserved for
+    the ``bundle-conservation`` audit.  Off for every measured service
+    (none of the six bundles); the packed-shard what-if profiles enable it.
+    """
+
+    enabled: bool = False
+    #: Files larger than this sync individually — bundling targets the
+    #: 77%-small-file band the paper measures, not multimedia blobs.
+    max_file_bytes: int = 128 * KB
+    #: Manifest entry per bundled file (path, digest, offset, length).
+    per_file_bytes: int = 96
+
+
+@dataclass(frozen=True)
 class OverheadProfile:
     """Fixed and proportional protocol overhead, fitted to Table 6."""
 
@@ -98,6 +117,11 @@ class ServiceProfile:
     protocol: ProtocolCosts = field(default_factory=ProtocolCosts)
     #: Factory so every client gets fresh defer state.
     defer_factory: Callable[[], DeferPolicy] = NoDefer
+    #: Small-file bundling (off for every measured service).
+    bundle: BundleSupport = BundleSupport()
+    #: Server storage backend: "chunk" (one REST object per chunk) or
+    #: "packshard" (packed shard containers, see repro.cloud.packshard).
+    storage_backend: str = "chunk"
 
     @property
     def name(self) -> str:

@@ -58,6 +58,7 @@ class SyncSession:
             dedup=profile.dedup,
             storage_chunk_size=profile.storage_chunk_size,
             name=profile.name,
+            backend=profile.storage_backend,
         )
         if isinstance(faults, FaultSchedule):
             faults = FaultInjector(faults)

@@ -12,10 +12,13 @@ from .errors import (
     RateLimited,
     ServiceUnavailable,
     TransientError,
+    annotate_manifest_error,
 )
 from .metadata import FileEntry, FileVersion, MetadataServer
 from .midlayer import ChunkStore
-from .object_store import ObjectRecord, ObjectStore, RestOpCounters
+from .object_store import LIST_PAGE_SIZE, ObjectRecord, ObjectStore, \
+    RestOpCounters
+from .packshard import PackShardConfig, PackShardStats, PackShardStore
 from .server import CloudServer, ServerStats
 
 __all__ = [
@@ -33,14 +36,19 @@ __all__ = [
     "FileEntry",
     "FileVersion",
     "IntegrityError",
+    "LIST_PAGE_SIZE",
     "MetadataServer",
     "NotFound",
     "ObjectRecord",
     "ObjectStore",
+    "PackShardConfig",
+    "PackShardStats",
+    "PackShardStore",
     "QuotaExceeded",
     "RateLimited",
     "RestOpCounters",
     "ServerStats",
     "ServiceUnavailable",
     "TransientError",
+    "annotate_manifest_error",
 ]

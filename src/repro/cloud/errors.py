@@ -49,3 +49,20 @@ class QuotaExceeded(CloudError):
 
 class IntegrityError(CloudError):
     """Stored data failed a digest check — corruption in the pipeline."""
+
+
+def annotate_manifest_error(error: CloudError, key: str, position: int,
+                            total: int) -> CloudError:
+    """Rebuild ``error`` so it names the failing chunk and manifest slot.
+
+    Multi-chunk fetches must not swallow *which* entry failed — audits need
+    to attribute corruption to a specific key.  The annotated copy carries
+    ``key`` and ``position`` attributes for programmatic use and keeps the
+    original message.
+    """
+    annotated = type(error)(
+        f"{error} (chunk {key!r} at manifest position "
+        f"{position + 1} of {total})")
+    annotated.key = key            # type: ignore[attr-defined]
+    annotated.position = position  # type: ignore[attr-defined]
+    return annotated

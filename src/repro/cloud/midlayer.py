@@ -11,8 +11,9 @@ store's :class:`~repro.cloud.object_store.RestOpCounters`.
 from __future__ import annotations
 
 import itertools
-from typing import List
+from typing import Iterable, List
 
+from .errors import IntegrityError, NotFound, annotate_manifest_error
 from .object_store import ObjectStore
 
 
@@ -35,11 +36,42 @@ class ChunkStore:
         return self.objects.get(key)
 
     def fetch_many(self, keys: List[str]) -> bytes:
-        """Reassemble a file from its manifest order."""
-        return b"".join(self.objects.get(key) for key in keys)
+        """Reassemble a file from its manifest order.
+
+        A failure mid-manifest is re-raised annotated with the failing key
+        and its position, so corruption is attributable instead of being
+        swallowed into an anonymous join.
+        """
+        pieces = []
+        for position, key in enumerate(keys):
+            try:
+                pieces.append(self.objects.get(key))
+            except (IntegrityError, NotFound) as error:
+                raise annotate_manifest_error(
+                    error, key, position, len(keys)) from error
+        return b"".join(pieces)
 
     def delete(self, key: str) -> None:
         self.objects.delete(key)
 
     def exists(self, key: str) -> bool:
         return key in self.objects
+
+    def flush(self) -> int:
+        """Nothing is buffered — every chunk was PUT eagerly at store()."""
+        return 0
+
+    def collect_garbage(self, live: Iterable[str]) -> int:
+        """Delete stored chunks whose keys are not in ``live``.
+
+        One paginated LIST enumerates the chunk namespace, then one DELETE
+        per dead chunk — the per-object cost profile the packed-shard
+        backend exists to avoid.
+        """
+        live = set(live)
+        removed = 0
+        for key in self.objects.list_keys(self.prefix):
+            if key not in live:
+                self.delete(key)
+                removed += 1
+        return removed

@@ -17,6 +17,9 @@ from typing import Dict, Iterator, List, Optional
 
 from .errors import IntegrityError, NotFound
 
+#: S3-style LIST page size: one LIST op is charged per 1000 keys returned.
+LIST_PAGE_SIZE = 1000
+
 
 @dataclass
 class ObjectRecord:
@@ -48,9 +51,21 @@ class RestOpCounters:
     list: int = 0
     put_bytes: int = 0
     get_bytes: int = 0
+    delete_bytes: int = 0
+    overwritten_bytes: int = 0
 
     def total_ops(self) -> int:
         return self.put + self.get + self.delete + self.head + self.list
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        """Bytes displaced from storage by DELETEs and overwriting PUTs.
+
+        Lifetime conservation: ``put_bytes - reclaimed_bytes`` equals the
+        store's current ``stored_bytes`` — asserted by
+        :func:`repro.obs.audit.verify_rest_ledger`.
+        """
+        return self.delete_bytes + self.overwritten_bytes
 
 
 class ObjectStore:
@@ -81,6 +96,8 @@ class ObjectStore:
         self._objects[key] = record
         self.ops.put += 1
         self.ops.put_bytes += len(data)
+        if existing is not None:
+            self.ops.overwritten_bytes += existing.size
         return record
 
     def get(self, key: str) -> bytes:
@@ -94,11 +111,39 @@ class ObjectStore:
             raise IntegrityError(f"object {key!r} failed its digest check")
         return record.data
 
+    def get_range(self, key: str, offset: int, length: int) -> bytes:
+        """Ranged GET — one GET op, only the requested bytes on the wire.
+
+        This is the REST primitive packed-shard containers rely on
+        (:mod:`repro.cloud.packshard`): many logical units live inside one
+        object, and readers fetch ``[offset, offset + length)`` slices.  The
+        whole stored object is still digest-verified — corruption anywhere
+        in the container fails every ranged read, which is exactly the
+        blast-radius trade-off DESIGN.md documents for this backend.
+        """
+        record = self._objects.get(key)
+        if record is None:
+            raise NotFound(f"object {key!r} does not exist")
+        if offset < 0 or length < 0:
+            raise ValueError("range offset and length must be non-negative")
+        if offset > record.size:
+            raise ValueError(
+                f"range offset {offset} beyond object {key!r} "
+                f"size {record.size}")
+        data = record.data[offset:offset + length]
+        self.ops.get += 1
+        self.ops.get_bytes += len(data)
+        if hashlib.md5(record.data).hexdigest() != record.etag:
+            raise IntegrityError(f"object {key!r} failed its digest check")
+        return data
+
     def delete(self, key: str) -> None:
-        if key not in self._objects:
+        record = self._objects.get(key)
+        if record is None:
             raise NotFound(f"object {key!r} does not exist")
         del self._objects[key]
         self.ops.delete += 1
+        self.ops.delete_bytes += record.size
 
     def head(self, key: str) -> Optional[ObjectRecord]:
         """Metadata-only probe; returns None instead of raising."""
@@ -106,8 +151,17 @@ class ObjectStore:
         return self._objects.get(key)
 
     def list_keys(self, prefix: str = "") -> List[str]:
-        self.ops.list += 1
-        return sorted(k for k in self._objects if k.startswith(prefix))
+        """Enumerate keys; cost is paginated S3-style.
+
+        A real LIST returns at most :data:`LIST_PAGE_SIZE` keys per request,
+        so enumerating N keys costs ``ceil(N / page)`` ops (minimum one —
+        an empty listing is still a round trip).  Backends with millions of
+        per-chunk objects pay for enumeration; packed shards do not.
+        """
+        keys = sorted(k for k in self._objects if k.startswith(prefix))
+        pages = -(-len(keys) // LIST_PAGE_SIZE)
+        self.ops.list += pages if pages > 0 else 1
+        return keys
 
     # -- accounting ---------------------------------------------------------
 

@@ -31,6 +31,7 @@ from .errors import IntegrityError, NotFound, RateLimited, ServiceUnavailable
 from .metadata import FileVersion, MetadataServer
 from .midlayer import ChunkStore
 from .object_store import ObjectStore
+from .packshard import PackShardConfig, PackShardStore
 
 
 @dataclass
@@ -43,6 +44,8 @@ class ServerStats:
     delta_applications: int = 0
     commits: int = 0
     requests_rejected: int = 0
+    shards_sealed: int = 0
+    shard_compactions: int = 0
 
 
 class CloudServer:
@@ -53,6 +56,8 @@ class CloudServer:
         dedup: Optional[DedupConfig] = None,
         storage_chunk_size: Optional[int] = None,
         name: str = "cloud",
+        backend: str = "chunk",
+        shard_config: Optional[PackShardConfig] = None,
     ):
         self.name = name
         self.dedup_config = dedup or DedupConfig.none()
@@ -60,7 +65,16 @@ class CloudServer:
         #: split into objects of this size (the Cumulus-style mid-layer).
         self.storage_chunk_size = storage_chunk_size
         self.objects = ObjectStore()
-        self.chunks = ChunkStore(self.objects)
+        #: Storage backend behind the mid-layer interface: ``"chunk"`` is
+        #: one REST object per chunk (Cumulus-style), ``"packshard"`` packs
+        #: units into shard containers (see :mod:`repro.cloud.packshard`).
+        self.backend = backend
+        if backend == "chunk":
+            self.chunks = ChunkStore(self.objects)
+        elif backend == "packshard":
+            self.chunks = PackShardStore(self.objects, config=shard_config)
+        else:
+            raise ValueError(f"unknown storage backend {backend!r}")
         self.metadata = MetadataServer()
         self.accounts = AccountRegistry()
         self.dedup = DedupIndex(self.dedup_config)
@@ -194,6 +208,11 @@ class CloudServer:
             user, path, size, md5,
             list(chunk_digests), list(chunk_keys), list(stored_sizes), self.now)
         self.stats.commits += 1
+        # Durability point: a packed-shard backend seals its open buffers
+        # here so committed data is always REST-visible; the chunk backend's
+        # flush is a no-op (chunks were PUT eagerly).
+        self.chunks.flush()
+        self._mirror_shard_stats()
         return version
 
     # -- the IDS mid-layer ---------------------------------------------------
@@ -242,9 +261,17 @@ class CloudServer:
 
     def _delete_stale(self, candidate_keys: set) -> None:
         live = self.metadata.live_chunk_keys()
-        for key in candidate_keys - live:
+        for key in sorted(candidate_keys - live):
             if self.chunks.exists(key):
                 self.chunks.delete(key)
+        self._mirror_shard_stats()
+
+    def _mirror_shard_stats(self) -> None:
+        """Copy backend counters into ServerStats (packshard only)."""
+        stats = getattr(self.chunks, "stats", None)
+        if stats is not None:
+            self.stats.shards_sealed = stats.containers_sealed
+            self.stats.shard_compactions = stats.compactions
 
     # -- reads, deletes, rollback ---------------------------------------------
 
@@ -314,11 +341,13 @@ class CloudServer:
         return removed_versions
 
     def collect_garbage(self) -> int:
-        """Remove chunk objects no version references; returns count."""
-        live = self.metadata.live_chunk_keys()
-        removed = 0
-        for key in list(self.objects.list_keys(self.chunks.prefix)):
-            if key not in live:
-                self.chunks.delete(key)
-                removed += 1
+        """Remove stored units no version references; returns count.
+
+        Delegates to the backend: the chunk store pays a paginated LIST
+        plus one DELETE per dead object, while the packed-shard store
+        resolves garbage through its in-memory manifests and reclaims via
+        compaction.
+        """
+        removed = self.chunks.collect_garbage(self.metadata.live_chunk_keys())
+        self._mirror_shard_stats()
         return removed

@@ -92,7 +92,8 @@ class Fleet:
         self.server = CloudServer(
             dedup=profile.dedup,
             storage_chunk_size=profile.storage_chunk_size,
-            name=profile.name)
+            name=profile.name,
+            backend=profile.storage_backend)
         self.server_faults: Optional[FaultInjector] = None
         if faults is not None:
             self.server_faults = FaultInjector(faults)

@@ -26,7 +26,7 @@ _BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
 _SPAN_KIND_CONSTANTS = frozenset({
     "CONNECT", "EXCHANGE", "RETRY_ATTEMPT", "DEFER_WINDOW", "DEDUP_HIT",
     "FAULT_EPISODE", "SYNC_TRANSACTION", "METER_RESET",
-    "CONFLICT_RESOLVED", "FANOUT_NOTIFICATION",
+    "CONFLICT_RESOLVED", "FANOUT_NOTIFICATION", "BUNDLE_COMMIT",
 })
 
 

@@ -27,11 +27,14 @@ from .audit import (
     audit_fleet_fanout,
     audit_hub,
     audit_replay_report,
+    audit_rest_ledger,
     verify_fleet_fanout,
     verify_replay_merge,
     verify_replay_report,
+    verify_rest_ledger,
 )
 from .recorder import (
+    BUNDLE_COMMIT,
     CONNECT,
     DEDUP_HIT,
     DEFER_WINDOW,
@@ -54,6 +57,7 @@ from .recorder import (
 
 __all__ = [
     "AuditViolation",
+    "BUNDLE_COMMIT",
     "CONNECT",
     "ConservationAuditor",
     "DEDUP_HIT",
@@ -73,6 +77,7 @@ __all__ = [
     "audit_fleet_fanout",
     "audit_hub",
     "audit_replay_report",
+    "audit_rest_ledger",
     "current_hub",
     "load_jsonl",
     "recording",
@@ -80,4 +85,5 @@ __all__ = [
     "verify_fleet_fanout",
     "verify_replay_merge",
     "verify_replay_report",
+    "verify_rest_ledger",
 ]

@@ -23,11 +23,21 @@ a trustworthy stand-in for the paper's Wireshark capture:
 ``kind-conservation``
     Per-kind payload/overhead/wasted totals sum to the meter-wide
     counters and respect ``wasted <= total`` within each kind.
+``bundle-conservation``
+    Every bundled small-file commit explains its wire bytes file by file:
+    the ``bundle-commit`` logical span's per-file ledger sums to its
+    payload, and across the trace the ledger totals equal the payload of
+    the ``bundle-commit`` wire exchanges — no byte rides a bundle
+    unattributed.
 ``replay-conservation`` (:func:`verify_replay_report`)
     A :class:`~repro.trace.replay.ReplayReport`'s per-user counters sum
     to its merged totals and every decomposition stays within bounds;
     :func:`verify_replay_merge` checks shard reports add up to a merged
     report counter by counter.
+``rest-conservation`` (:func:`verify_rest_ledger`)
+    An :class:`~repro.cloud.object_store.ObjectStore`'s op ledger balances
+    against its physical state: lifetime ``put_bytes`` minus reclaimed
+    (deleted + overwritten) bytes equals the bytes currently stored.
 
 Violations are reported as structured :class:`AuditViolation` errors
 naming the invariant and the offending span.
@@ -66,6 +76,7 @@ class ConservationAuditor:
         violations.extend(self._check_wire_math(recorder))
         violations.extend(self._check_sum_conservation(recorder))
         violations.extend(self._check_kind_conservation(recorder))
+        violations.extend(self._check_bundle_conservation(recorder))
         return violations
 
     def audit(self, recorder: TraceRecorder) -> None:
@@ -317,6 +328,63 @@ class ConservationAuditor:
                     f"total {totals.total}", session=recorder.label))
         return out
 
+    def _check_bundle_conservation(self, recorder: TraceRecorder
+                                   ) -> List[AuditViolation]:
+        """Bundled commits must explain their wire bytes file by file.
+
+        Each logical ``bundle-commit`` span carries a per-file ledger
+        (``[path, wire_bytes, file_bytes]`` entries) whose wire column
+        sums to the span's ``payload``; across the trace the ledger total
+        must equal the upstream payload of the ``bundle-commit``-named
+        wire exchanges.  Rejected/aborted attempts carry no payload and
+        are excluded on both sides.
+        """
+        out: List[AuditViolation] = []
+        ledger_total = 0
+        wire_total = 0
+        for span in recorder.spans:
+            if span.kind == "bundle-commit":
+                ledger = span.attrs.get("ledger")
+                files = span.attrs.get("files")
+                payload = span.attrs.get("payload", 0)
+                if ledger is None:
+                    out.append(AuditViolation(
+                        "bundle-conservation",
+                        "bundle-commit span carries no per-file ledger",
+                        span, recorder.label))
+                    continue
+                if files != len(ledger):
+                    out.append(AuditViolation(
+                        "bundle-conservation",
+                        f"span claims {files} files but its ledger has "
+                        f"{len(ledger)} entries", span, recorder.label))
+                entry_sum = 0
+                for entry in ledger:
+                    wire_bytes = int(entry[1])
+                    if wire_bytes < 0 or int(entry[2]) < 0:
+                        out.append(AuditViolation(
+                            "bundle-conservation",
+                            f"negative ledger entry for {entry[0]!r}",
+                            span, recorder.label))
+                    entry_sum += wire_bytes
+                if entry_sum != payload:
+                    out.append(AuditViolation(
+                        "bundle-conservation",
+                        f"ledger sums to {entry_sum} wire bytes but the "
+                        f"bundle payload is {payload}", span,
+                        recorder.label))
+                ledger_total += entry_sum
+            elif (span.kind == "exchange" and span.name == "bundle-commit"
+                    and span.attrs.get("op") == "exchange"):
+                wire_total += span.attrs.get("up_payload", 0)
+        if ledger_total != wire_total:
+            out.append(AuditViolation(
+                "bundle-conservation",
+                f"per-file ledgers explain {ledger_total} bundled wire "
+                f"bytes but bundle-commit exchanges carried {wire_total}",
+                session=recorder.label))
+        return out
+
 
 def audit_hub(hub: TraceHub) -> None:
     """Audit every recorder in ``hub``; raise the first violation found."""
@@ -508,3 +576,43 @@ def audit_domain_protocol(scheduler: Any) -> None:
     violations = verify_domain_protocol(scheduler)
     if violations:
         raise AuditViolation("domain-protocol", violations[0])
+
+
+# -- REST cost-ledger conservation ------------------------------------------
+
+def verify_rest_ledger(store: Any) -> List[AuditViolation]:
+    """Balance an ObjectStore's op counters against its physical state.
+
+    Lifetime conservation: every byte ever PUT is either still stored or
+    was reclaimed by a DELETE or an overwriting PUT —
+    ``put_bytes - (delete_bytes + overwritten_bytes) == stored_bytes``.
+    This is the invariant the ``delete_bytes``/``overwritten_bytes``
+    counters exist to make checkable; backends that lose track of
+    displaced bytes fail here.
+    """
+    out: List[AuditViolation] = []
+    ops = store.ops
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            out.append(AuditViolation("rest-conservation", message))
+
+    for name in ("put", "get", "delete", "head", "list", "put_bytes",
+                 "get_bytes", "delete_bytes", "overwritten_bytes"):
+        check(getattr(ops, name) >= 0, f"negative counter {name}")
+    check(ops.reclaimed_bytes <= ops.put_bytes,
+          f"reclaimed {ops.reclaimed_bytes} bytes exceed lifetime "
+          f"put_bytes {ops.put_bytes}")
+    balance = ops.put_bytes - ops.reclaimed_bytes
+    check(balance == store.stored_bytes,
+          f"ledger balance put_bytes - reclaimed = {balance} but the store "
+          f"physically holds {store.stored_bytes} bytes — displaced bytes "
+          f"went uncounted")
+    return out
+
+
+def audit_rest_ledger(store: Any) -> None:
+    """Raise the first REST-ledger conservation violation, if any."""
+    violations = verify_rest_ledger(store)
+    if violations:
+        raise violations[0]

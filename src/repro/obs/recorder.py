@@ -42,11 +42,13 @@ SYNC_TRANSACTION = "sync-transaction"
 METER_RESET = "meter-reset"
 CONFLICT_RESOLVED = "conflict-resolved"
 FANOUT_NOTIFICATION = "fanout-notification"
+BUNDLE_COMMIT = "bundle-commit"
 
 WIRE_KINDS = frozenset({CONNECT, EXCHANGE})
 SPAN_KINDS = WIRE_KINDS | frozenset({
     RETRY_ATTEMPT, DEFER_WINDOW, DEDUP_HIT, FAULT_EPISODE,
     SYNC_TRANSACTION, METER_RESET, CONFLICT_RESOLVED, FANOUT_NOTIFICATION,
+    BUNDLE_COMMIT,
 })
 
 

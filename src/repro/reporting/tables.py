@@ -72,6 +72,27 @@ def render_fleet_members(report: "FleetReport",
          "Conflicts"], rows, title=title)
 
 
+def render_backend_matrix(cells: Sequence, title: Optional[str] = None) -> str:
+    """The Experiment 10 backend × mix sweep, one row per cell.
+
+    Shared between ``repro backends`` and ``benchmarks/bench_backends.py``
+    so the rendered sweep is part of the rerun byte-identity contract.
+    """
+    rows = [
+        [cell.mix, cell.backend, str(cell.files),
+         f"{cell.rest_ops_per_file:.2f}", str(cell.rest_ops),
+         f"{cell.put_ops}/{cell.get_ops}/{cell.delete_ops}/{cell.list_ops}",
+         size_cell(cell.stored_bytes), fmt_tue(cell.tue, precision=3),
+         str(cell.shards_sealed), str(cell.shard_compactions),
+         str(cell.bundle_commits)]
+        for cell in cells
+    ]
+    return render_table(
+        ["Mix", "Backend", "Files", "Ops/file", "REST ops",
+         "P/G/D/L", "Stored", "TUE", "Sealed", "Compact", "Bundles"],
+        rows, title=title)
+
+
 def fmt_tue(value: float, precision: int = 2) -> str:
     """Render a TUE ratio under the zero-size convention (PR 3).
 

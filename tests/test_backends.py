@@ -1,0 +1,564 @@
+"""Experiment 10 surface: packed shards, bundled commits, honest ledgers.
+
+Covers the three ledger bugfixes (overwrite/delete byte conservation,
+paginated LIST cost, mid-manifest failure attribution), the packed-shard
+backend, client-side small-file bundling with its conservation audit, and
+the backend × mix sweep the CLI and bench report.
+"""
+
+import pytest
+
+from repro.chunking import fingerprint
+from repro.client import AccessMethod, SyncSession, all_profiles
+from repro.cloud import (
+    ChunkStore,
+    CloudServer,
+    IntegrityError,
+    LIST_PAGE_SIZE,
+    NotFound,
+    ObjectStore,
+    PackShardConfig,
+    PackShardStore,
+    annotate_manifest_error,
+)
+from repro.cloud.packshard import _decode_manifest, _encode_manifest
+from repro.content import random_content
+from repro.core import (
+    BACKENDS,
+    FILE_MIXES,
+    backend_profile,
+    experiment10_backends,
+    generate_mix,
+    run_backend_cell,
+)
+from repro.obs import (
+    AuditViolation,
+    ConservationAuditor,
+    audit_hub,
+    audit_rest_ledger,
+    recording,
+    verify_rest_ledger,
+)
+from repro.units import KB
+
+
+# ---------------------------------------------------------------------------
+# bugfix (a): overwrite/delete byte conservation on the REST ledger
+# ---------------------------------------------------------------------------
+
+def test_overwrite_and_delete_bytes_balance_the_ledger():
+    store = ObjectStore()
+    store.put("a", b"12345")
+    store.put("a", b"123")           # overwrite displaces the 5 old bytes
+    assert store.ops.overwritten_bytes == 5
+    store.delete("a")                # delete displaces the 3 current bytes
+    assert store.ops.delete_bytes == 3
+    assert store.ops.reclaimed_bytes == 8
+    assert store.ops.put_bytes - store.ops.reclaimed_bytes \
+        == store.stored_bytes == 0
+    assert verify_rest_ledger(store) == []
+
+
+def test_ledger_detects_uncounted_displacement():
+    # Regression: before delete_bytes/overwritten_bytes existed there was
+    # no way to balance put_bytes against stored_bytes.  Simulate the old
+    # behaviour by zeroing the displacement counters after an overwrite.
+    store = ObjectStore()
+    store.put("a", b"12345")
+    store.put("a", b"123")
+    store.ops.overwritten_bytes = 0
+    violations = verify_rest_ledger(store)
+    assert violations and all(
+        v.invariant == "rest-conservation" for v in violations)
+    assert "uncounted" in str(violations[0])
+
+
+def test_ledger_rejects_negative_counters():
+    store = ObjectStore()
+    store.put("a", b"x")
+    store.ops.delete_bytes = -1
+    messages = [str(v) for v in verify_rest_ledger(store)]
+    assert any("negative counter delete_bytes" in m for m in messages)
+
+
+def test_audit_rest_ledger_raises_on_imbalance():
+    store = ObjectStore()
+    store.put("a", b"12345")
+    store.delete("a")
+    audit_rest_ledger(store)         # balanced: no raise
+    store.ops.delete_bytes = 0
+    with pytest.raises(AuditViolation):
+        audit_rest_ledger(store)
+
+
+# ---------------------------------------------------------------------------
+# bugfix (b): paginated LIST cost
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("keys,expected_ops", [
+    (0, 1),       # empty listing is still one round trip
+    (1, 1),
+    (999, 1),
+    (1000, 1),    # exactly one full page
+    (1001, 2),    # one key over rolls a second page
+])
+def test_list_cost_is_paginated(keys, expected_ops):
+    store = ObjectStore()
+    for index in range(keys):
+        store.put(f"k{index:05d}", b"")
+    before = store.ops.list
+    listed = store.list_keys()
+    assert len(listed) == keys
+    assert store.ops.list - before == expected_ops
+
+
+def test_list_pagination_is_per_call():
+    store = ObjectStore()
+    for index in range(LIST_PAGE_SIZE + 1):
+        store.put(f"k{index:05d}", b"")
+    store.list_keys()
+    store.list_keys("k000")          # prefix under one page: 1 more op
+    assert store.ops.list == 3
+
+
+# ---------------------------------------------------------------------------
+# bugfix (c): mid-manifest failure attribution in fetch_many
+# ---------------------------------------------------------------------------
+
+def test_chunkstore_fetch_many_attributes_corruption():
+    chunks = ChunkStore(ObjectStore())
+    keys = [chunks.store(piece) for piece in (b"aaa", b"bbb", b"ccc")]
+    chunks.objects._objects[keys[1]].data = b"XXX"   # rot under the etag
+    with pytest.raises(IntegrityError) as excinfo:
+        chunks.fetch_many(keys)
+    assert excinfo.value.key == keys[1]
+    assert excinfo.value.position == 1
+    assert "manifest position 2 of 3" in str(excinfo.value)
+
+
+def test_chunkstore_fetch_many_attributes_missing_chunk():
+    chunks = ChunkStore(ObjectStore())
+    keys = [chunks.store(piece) for piece in (b"aaa", b"bbb", b"ccc")]
+    del chunks.objects._objects[keys[2]]
+    with pytest.raises(NotFound) as excinfo:
+        chunks.fetch_many(keys)
+    assert excinfo.value.key == keys[2]
+    assert excinfo.value.position == 2
+    assert "manifest position 3 of 3" in str(excinfo.value)
+
+
+def test_annotate_manifest_error_preserves_type():
+    annotated = annotate_manifest_error(NotFound("gone"), "k", 0, 4)
+    assert isinstance(annotated, NotFound)
+    assert annotated.key == "k" and annotated.position == 0
+    assert "manifest position 1 of 4" in str(annotated)
+
+
+# ---------------------------------------------------------------------------
+# coverage (d): chunk-store delete/exists, object-store iteration
+# ---------------------------------------------------------------------------
+
+def test_chunkstore_delete_exists_and_flush():
+    chunks = ChunkStore(ObjectStore())
+    key = chunks.store(b"payload")
+    assert chunks.exists(key)
+    assert chunks.flush() == 0       # eager PUTs: nothing buffered
+    chunks.delete(key)
+    assert not chunks.exists(key)
+    with pytest.raises(NotFound):
+        chunks.fetch(key)
+    assert verify_rest_ledger(chunks.objects) == []
+
+
+def test_chunkstore_collect_garbage_deletes_non_live():
+    chunks = ChunkStore(ObjectStore())
+    keys = [chunks.store(bytes([value]) * 8) for value in range(3)]
+    removed = chunks.collect_garbage([keys[0]])
+    assert removed == 2
+    assert chunks.exists(keys[0])
+    assert not chunks.exists(keys[1]) and not chunks.exists(keys[2])
+
+
+def test_objectstore_iteration_and_stored_bytes():
+    store = ObjectStore()
+    store.put("a", b"12345")
+    store.put("b", b"12")
+    records = list(store)
+    assert len(store) == len(records) == 2
+    assert sum(record.size for record in records) == store.stored_bytes == 7
+
+
+def test_get_range_semantics_and_metering():
+    store = ObjectStore()
+    store.put("a", b"0123456789")
+    assert store.get_range("a", 2, 4) == b"2345"
+    assert store.ops.get == 1 and store.ops.get_bytes == 4
+    assert store.get_range("a", 8, 100) == b"89"     # end-clamped
+    assert store.get_range("a", 10, 5) == b""        # offset == size is ok
+    with pytest.raises(NotFound):
+        store.get_range("missing", 0, 1)
+    with pytest.raises(ValueError):
+        store.get_range("a", -1, 1)
+    with pytest.raises(ValueError):
+        store.get_range("a", 0, -1)
+    with pytest.raises(ValueError):
+        store.get_range("a", 11, 1)
+
+
+def test_get_range_verifies_whole_object_digest():
+    store = ObjectStore()
+    store.put("a", b"0123456789")
+    store._objects["a"].data = b"0123456789!"        # corrupt past the range
+    with pytest.raises(IntegrityError):
+        store.get_range("a", 0, 4)
+
+
+# ---------------------------------------------------------------------------
+# packed-shard backend
+# ---------------------------------------------------------------------------
+
+def _shard(slots=1, target=1 << 20, fraction=0.5):
+    return PackShardStore(ObjectStore(), PackShardConfig(
+        slots=slots, target_container_bytes=target,
+        compact_garbage_fraction=fraction))
+
+
+def test_placement_is_deterministic_and_in_range():
+    shard = _shard(slots=7)
+    data = random_content(4 * KB, seed=1).data
+    slot = shard.placement_slot(data)
+    assert 0 <= slot < 7
+    assert shard.placement_slot(data) == slot
+    assert shard.placement_slot(data) == PackShardStore(
+        ObjectStore(), PackShardConfig(slots=7)).placement_slot(data)
+
+
+def test_store_buffers_with_zero_rest_ops_until_flush():
+    shard = _shard()
+    key = shard.store(b"unit-one")
+    assert shard.objects.ops.total_ops() == 0
+    assert shard.exists(key)
+    assert shard.flush() == 1
+    assert shard.objects.ops.put == 1
+    assert shard.fetch(key) == b"unit-one"
+    assert shard.objects.ops.get == 1
+    assert shard.objects.ops.get_bytes == len(b"unit-one")
+
+
+def test_slot_seals_itself_at_target_size():
+    shard = _shard(target=100)
+    shard.store(b"x" * 60)
+    assert shard.stats.containers_sealed == 0
+    shard.store(b"y" * 50)
+    assert shard.stats.containers_sealed == 1
+    assert shard.objects.ops.put == 1
+
+
+def test_read_of_pending_unit_seals_its_slot():
+    shard = _shard()
+    key = shard.store(b"pending")
+    assert shard.fetch(key) == b"pending"            # sealed on demand
+    assert shard.stats.containers_sealed == 1
+
+
+def test_fetch_many_coalesces_contiguous_runs():
+    shard = _shard()
+    pieces = [bytes([value]) * 32 for value in range(3)]
+    keys = [shard.store(piece) for piece in pieces]
+    shard.flush()
+    before = shard.objects.ops.get
+    assert shard.fetch_many(keys) == b"".join(pieces)
+    assert shard.objects.ops.get - before == 1       # one ranged GET
+    assert shard.objects.ops.get_bytes == 96
+
+
+def test_fetch_many_attributes_packshard_failures():
+    shard = _shard()
+    keys = [shard.store(bytes([value]) * 16) for value in range(2)]
+    shard.flush()
+    container_key = next(iter(shard._containers))
+    shard.objects._objects[container_key].data += b"!"
+    with pytest.raises(IntegrityError) as excinfo:
+        shard.fetch_many(keys)
+    assert excinfo.value.key == keys[0]
+    assert excinfo.value.position == 0
+    with pytest.raises(NotFound) as missing:
+        shard.fetch_many([keys[0], "shards/u999999999999"])
+    assert missing.value.position == 1
+
+
+def test_container_manifest_trailer_roundtrip():
+    shard = _shard()
+    keys = [shard.store(bytes([value]) * 10) for value in range(3)]
+    shard.flush()
+    container_key = next(iter(shard._containers))
+    blob = shard.objects._objects[container_key].data
+    entries = _decode_manifest(blob)
+    assert [key for key, _, _ in entries] == keys
+    assert [(offset, length) for _, offset, length in entries] \
+        == [(0, 10), (10, 10), (20, 10)]
+    assert _decode_manifest(_encode_manifest([("k", 0, 5)])) == [("k", 0, 5)]
+    with pytest.raises(IntegrityError):
+        _decode_manifest(b"tiny")
+    with pytest.raises(IntegrityError):
+        _decode_manifest(b"body" + (999).to_bytes(8, "big"))
+
+
+def test_delete_of_pending_unit_costs_nothing():
+    shard = _shard()
+    key = shard.store(b"ephemeral")
+    shard.delete(key)
+    assert not shard.exists(key)
+    assert shard.flush() == 0
+    assert shard.objects.ops.total_ops() == 0
+    with pytest.raises(NotFound):
+        shard.fetch(key)
+    with pytest.raises(NotFound):
+        shard.delete(key)
+
+
+def test_sealed_delete_marks_garbage_then_compacts():
+    shard = _shard(fraction=0.5)
+    pieces = [bytes([value]) * 100 for value in range(4)]
+    keys = [shard.store(piece) for piece in pieces]
+    shard.flush()
+    shard.delete(keys[0])                    # 100/400 garbage: below 0.5
+    assert shard.stats.compactions == 0
+    shard.delete(keys[1])                    # 200/400 crosses the threshold
+    assert shard.stats.compactions == 1
+    assert shard.objects.ops.get == 1        # whole-container GET
+    assert shard.objects.ops.delete == 1     # old container DELETE
+    assert shard.stats.compaction_copied_bytes == 200
+    assert shard.stats.garbage_reclaimed_bytes == 200
+    assert shard.fetch(keys[2]) == pieces[2]  # survivor re-sealed + readable
+    assert shard.fetch(keys[3]) == pieces[3]
+    assert verify_rest_ledger(shard.objects) == []
+
+
+def test_fully_garbage_container_is_one_delete():
+    shard = _shard(fraction=1.0)
+    keys = [shard.store(bytes([value]) * 50) for value in range(2)]
+    shard.flush()
+    shard.delete(keys[0])
+    shard.delete(keys[1])                    # manifest empties: drop
+    assert shard.objects.ops.get == 0
+    assert shard.objects.ops.delete == 1
+    assert len(shard.objects) == 0
+    assert shard.stats.garbage_reclaimed_bytes == 100
+    assert verify_rest_ledger(shard.objects) == []
+
+
+def test_packshard_collect_garbage_needs_no_list_ops():
+    shard = _shard(fraction=1.0)
+    keys = [shard.store(bytes([value]) * 20) for value in range(4)]
+    shard.flush()
+    removed = shard.collect_garbage(keys[:1])
+    assert removed == 3
+    assert shard.objects.ops.list == 0
+    assert shard.fetch(keys[0]) == bytes([0]) * 20
+
+
+def test_packshard_config_validation():
+    with pytest.raises(ValueError):
+        PackShardConfig(slots=0)
+    with pytest.raises(ValueError):
+        PackShardConfig(target_container_bytes=0)
+    with pytest.raises(ValueError):
+        PackShardConfig(compact_garbage_fraction=0.0)
+    with pytest.raises(ValueError):
+        PackShardConfig(compact_garbage_fraction=1.5)
+    assert PackShardConfig(compact_garbage_fraction=1.0).slots == 4
+
+
+# ---------------------------------------------------------------------------
+# server integration
+# ---------------------------------------------------------------------------
+
+def _upload(server, user, path, content, chunk_size=None):
+    unit = chunk_size or max(content.size, 1)
+    digests, keys, sizes = [], [], []
+    for offset in range(0, max(content.size, 1), unit):
+        piece = content.data[offset:offset + unit]
+        digest = fingerprint(piece)
+        key = server.resolve(user, digest)
+        if key is None:
+            key = server.upload_chunk(user, digest, piece)
+        digests.append(digest)
+        keys.append(key)
+        sizes.append(len(piece))
+    return server.commit(user, path, content.size, content.md5,
+                         digests, keys, sizes)
+
+
+def test_server_backend_selection():
+    assert isinstance(CloudServer(backend="chunk").chunks, ChunkStore)
+    assert isinstance(CloudServer(backend="packshard").chunks, PackShardStore)
+    with pytest.raises(ValueError):
+        CloudServer(backend="tape")
+
+
+def test_server_packshard_end_to_end():
+    server = CloudServer(backend="packshard", storage_chunk_size=1024)
+    first = random_content(5000, seed=1)
+    second = random_content(3000, seed=2)
+    _upload(server, "u", "a.bin", first, chunk_size=1024)
+    _upload(server, "u", "b.bin", second, chunk_size=1024)
+    assert server.download("u", "a.bin") == first.data
+    assert server.download("u", "b.bin") == second.data
+    assert server.stats.shards_sealed >= 1      # mirrored from the backend
+    server.delete_file("u", "a.bin")
+    server.purge_history("u", "a.bin", keep_last=1)
+    assert server.download("u", "b.bin") == second.data
+    audit_rest_ledger(server.objects)
+
+
+def test_server_packshard_commit_flushes_for_durability():
+    server = CloudServer(backend="packshard")
+    content = random_content(2000, seed=3)
+    _upload(server, "u", "f.bin", content)
+    assert server.objects.ops.put >= 1          # sealed at commit, not read
+
+
+# ---------------------------------------------------------------------------
+# client-side bundling + bundle-conservation audit
+# ---------------------------------------------------------------------------
+
+def _bundled_session():
+    """Four small files synced through the packshard/bundling profile."""
+    hub_session = SyncSession(backend_profile("packshard"))
+    for index in range(4):
+        hub_session.create_random_file(f"s{index}.bin", 2 * KB,
+                                       seed=10 + index)
+    hub_session.run_until_idle()
+    return hub_session
+
+
+def test_bundled_commit_converges_and_counts():
+    with recording() as hub:
+        session = _bundled_session()
+    assert session.client.stats.bundle_commits == 1
+    assert session.client.stats.bundled_files == 4
+    for index in range(4):
+        assert session.server.download("user1", f"s{index}.bin") \
+            == random_content(2 * KB, seed=10 + index).data
+    audit_hub(hub)                               # bundle-conservation holds
+
+
+def test_bundle_ledger_explains_every_wire_byte():
+    with recording():
+        session = _bundled_session()
+    spans = [s for s in session.recorder.spans if s.kind == "bundle-commit"]
+    assert len(spans) == 1
+    ledger = spans[0].attrs["ledger"]
+    assert spans[0].attrs["files"] == len(ledger) == 4
+    assert sum(entry[1] for entry in ledger) == spans[0].attrs["payload"]
+    wire = [s for s in session.recorder.spans
+            if s.kind == "exchange" and s.name == "bundle-commit"
+            and s.attrs.get("op") == "exchange"]
+    assert sum(s.attrs["up_payload"] for s in wire) \
+        == spans[0].attrs["payload"]
+
+
+def test_tampered_bundle_ledger_fails_the_audit():
+    with recording() as hub:
+        session = _bundled_session()
+    span = next(s for s in session.recorder.spans
+                if s.kind == "bundle-commit")
+    span.attrs["ledger"][0][1] += 1              # claim one extra wire byte
+    violations = ConservationAuditor().verify(session.recorder)
+    bundle = [v for v in violations if v.invariant == "bundle-conservation"]
+    assert len(bundle) >= 2                      # span sum + trace total
+    with pytest.raises(AuditViolation):
+        audit_hub(hub)
+
+
+def test_bundle_span_without_ledger_is_a_violation():
+    from repro.obs import BUNDLE_COMMIT, TraceRecorder
+    recorder = TraceRecorder("synthetic")
+    recorder.record_span(BUNDLE_COMMIT, "bundle", "client", 0.0, 1.0,
+                         files=2, payload=10)
+    violations = ConservationAuditor().verify(recorder)
+    assert any("no per-file ledger" in str(v) for v in violations)
+
+
+def test_large_files_are_not_bundled():
+    profile = backend_profile("packshard")
+    session = SyncSession(profile)
+    for index in range(3):
+        session.create_random_file(f"s{index}.bin", 2 * KB, seed=index)
+    session.create_random_file(
+        "big.bin", profile.bundle.max_file_bytes + 1, seed=99)
+    session.run_until_idle()
+    assert session.client.stats.bundled_files == 3
+    assert session.server.download("user1", "big.bin") \
+        == random_content(profile.bundle.max_file_bytes + 1, seed=99).data
+
+
+def test_single_small_file_skips_the_bundle_path():
+    session = SyncSession(backend_profile("packshard"))
+    session.create_random_file("only.bin", 2 * KB, seed=1)
+    session.run_until_idle()
+    assert session.client.stats.bundle_commits == 0
+    assert session.server.download("user1", "only.bin") \
+        == random_content(2 * KB, seed=1).data
+
+
+def test_default_profiles_never_bundle():
+    assert all(not profile.bundle.enabled for profile in all_profiles())
+    assert all(profile.storage_backend == "chunk"
+               for profile in all_profiles())
+    session = SyncSession("Dropbox", AccessMethod.PC)
+    for index in range(3):
+        session.create_random_file(f"s{index}.bin", 2 * KB, seed=index)
+    session.run_until_idle()
+    assert session.client.stats.bundle_commits == 0
+    assert not any(s.kind == "bundle-commit"
+                   for s in (session.recorder.spans
+                             if session.recorder else []))
+
+
+# ---------------------------------------------------------------------------
+# experiment 10: the backend × mix sweep
+# ---------------------------------------------------------------------------
+
+def test_generate_mix_shape_and_determinism():
+    with pytest.raises(ValueError):
+        generate_mix("bogus", 10)
+    sizes = generate_mix("paper", 200, seed=0)
+    assert len(sizes) == 200 and all(size >= 1 for size in sizes)
+    assert sizes == generate_mix("paper", 200, seed=0)
+    small = sum(1 for size in sizes if size <= 8 * KB)
+    assert 0.6 < small / len(sizes) < 0.9       # the paper's small-file skew
+
+
+def test_backend_profile_declarations():
+    with pytest.raises(ValueError):
+        backend_profile("tape")
+    assert backend_profile("object").storage_chunk_size is None
+    assert not backend_profile("chunk").bundle.enabled
+    shard = backend_profile("packshard")
+    assert shard.bundle.enabled and shard.storage_backend == "packshard"
+
+
+def test_backend_cell_is_rerun_identical():
+    first = run_backend_cell("packshard", "paper", files=24)
+    second = run_backend_cell("packshard", "paper", files=24)
+    assert first == second
+
+
+def test_paper_mix_packshard_cuts_rest_ops_tenfold():
+    chunk = run_backend_cell("chunk", "paper")
+    shard = run_backend_cell("packshard", "paper")
+    assert shard.bundle_commits >= 1
+    assert chunk.rest_ops_per_file / shard.rest_ops_per_file >= 10.0
+
+
+def test_experiment10_matrix_is_mix_major():
+    cells = experiment10_backends(files=6)
+    assert len(cells) == len(BACKENDS) * len(FILE_MIXES)
+    assert [cell.mix for cell in cells[:len(BACKENDS)]] \
+        == [FILE_MIXES[0]] * len(BACKENDS)
+    assert [cell.backend for cell in cells[:len(BACKENDS)]] == list(BACKENDS)
+    assert all(cell.rest_ops > 0 and cell.stored_bytes > 0
+               for cell in cells)
+    assert all(cell.tue >= 1.0 for cell in cells)

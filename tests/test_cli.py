@@ -182,3 +182,28 @@ def test_trace_run_requires_out(capsys):
 def test_audit_rejects_unknown_target():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["audit", "exp99"])
+
+
+def test_backends_prints_matrix_and_ratio(capsys):
+    out = run(capsys, "backends", "--files", "12")
+    assert "packshard" in out and "chunk" in out and "object" in out
+    for mix in ("paper", "uniform-large", "multimedia"):
+        assert mix in out
+    assert "fewer REST ops/file than the chunk store" in out
+
+
+def test_backends_audited_run_passes(capsys):
+    out = run(capsys, "backends", "--files", "12", "--audit")
+    assert "conservation audit passed" in out
+    assert "bundle-conservation" in out
+
+
+def test_audit_exp10_traces_the_bundled_commit(capsys):
+    out = run(capsys, "audit", "exp10")
+    assert "conservation audit passed" in out
+    assert "bundle-commit" in out
+
+
+def test_list_includes_backends(capsys):
+    out = run(capsys, "list")
+    assert "backends" in out
