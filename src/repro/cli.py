@@ -414,7 +414,8 @@ def cmd_lint(args) -> int:
     import json as _json
     import os.path
 
-    from .lint import ALL_RULES, lint_paths
+    from .lint import (ALL_RULES, KNOWN_IDS, PROJECT_RULES, lint_paths,
+                       lint_project)
 
     baseline = args.baseline
     if baseline is None:
@@ -424,11 +425,18 @@ def cmd_lint(args) -> int:
         print(f"error: baseline file {baseline!r} does not exist",
               file=sys.stderr)
         return 2
-    result = lint_paths(args.paths, ALL_RULES, baseline_path=baseline)
+    if args.graph:
+        result = lint_project(args.paths, ALL_RULES, PROJECT_RULES,
+                              baseline_path=baseline,
+                              cache_dir=args.cache_dir, jobs=args.jobs,
+                              known_ids=KNOWN_IDS)
+    else:
+        result = lint_paths(args.paths, ALL_RULES, baseline_path=baseline,
+                            known_ids=KNOWN_IDS)
 
     stale_fails = bool(result.stale) and args.fail_stale
     if args.format == "json":
-        print(_json.dumps({
+        payload = {
             "files": result.file_count,
             "findings": [finding.to_dict() for finding in result.findings],
             "baseline_applied": result.baseline_applied,
@@ -436,7 +444,12 @@ def cmd_lint(args) -> int:
                 {"rule": entry.rule, "path": entry.path,
                  "comment": entry.comment}
                 for entry in result.stale],
-        }, indent=2))
+        }
+        if args.graph:
+            payload["graph"] = {"modules": result.module_count,
+                                "call_edges": result.call_edges,
+                                "cache_hits": result.cache_hits}
+        print(_json.dumps(payload, indent=2))
         return 1 if (result.findings or stale_fails) else 0
 
     for finding in result.findings:
@@ -446,6 +459,10 @@ def cmd_lint(args) -> int:
               f"entry {entry.rule} for {entry.path} — the finding no longer "
               f"fires; remove the suppression")
     status = "FAILED" if (result.findings or stale_fails) else "ok"
+    if args.graph:
+        print(f"project graph: {result.module_count} module(s), "
+              f"{result.call_edges} call edge(s), "
+              f"{result.cache_hits} cache hit(s)")
     print(f"reprolint: {result.file_count} file(s), "
           f"{len(result.findings)} finding(s), "
           f"{result.baseline_applied} baselined, "
@@ -582,7 +599,14 @@ def build_parser() -> argparse.ArgumentParser:
         **{"paths": dict(nargs="*", default=["src"]),
            "--format": dict(choices=("text", "json"), default="text"),
            "--baseline": dict(default=None),
-           "--fail-stale": dict(action="store_true", dest="fail_stale")})
+           "--fail-stale": dict(action="store_true", dest="fail_stale"),
+           "--graph": dict(action="store_true",
+                           help="run the whole-program REP03x/04x/05x "
+                                "families over the project call graph"),
+           "--jobs": dict(type=int, default=1,
+                          help="parallel workers for cold per-file analysis"),
+           "--cache-dir": dict(default=None, dest="cache_dir",
+                               help="incremental analysis cache directory")})
     add("audit", cmd_audit,
         **dict(observed, **{"--trace": dict(default=None, dest="out")}))
     add("trace-run", cmd_trace_run,

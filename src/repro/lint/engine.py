@@ -190,7 +190,7 @@ class FileContext:
     """One file under analysis: source, AST with parent links, scope info."""
 
     def __init__(self, path: str, source: str, known_ids: Set[str],
-                 module: Optional[str] = None):
+                 module: Optional[str] = None) -> None:
         self.path = PurePath(path).as_posix()
         self.source = source
         self.pragmas = _parse_pragmas(source, known_ids)
@@ -201,6 +201,46 @@ class FileContext:
             for child in ast.iter_child_nodes(node):
                 self._parents[id(child)] = node
         self._set_names: Optional[Dict[int, Set[str]]] = None
+        self._anchor_pragmas_to_statements()
+
+    def _anchor_pragmas_to_statements(self) -> None:
+        """Expand each line pragma to its statement's full line span.
+
+        A ``# reprolint: disable=...`` comment physically sits on one line,
+        but the statement it annotates may span several — and rules report
+        findings at the sub-expression's own line, which for a multi-line
+        call is often a continuation line.  Anchoring: a pragma anywhere on
+        a statement's lines suppresses on every line of that statement.
+        Compound statements (``def``/``if``/``with``...) only contribute
+        their *header* lines, so a pragma on a ``def`` line never blankets
+        the function body.
+        """
+        if not self.pragmas.line_disables:
+            return
+        spans: List[Tuple[int, int]] = []
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            end = getattr(node, "end_lineno", None) or node.lineno
+            body = getattr(node, "body", None)
+            if isinstance(body, list) and body \
+                    and isinstance(body[0], ast.stmt):
+                end = max(node.lineno, body[0].lineno - 1)
+            if end > node.lineno:
+                spans.append((node.lineno, end))
+        expanded: Dict[int, Set[str]] = {}
+        for line, rules in self.pragmas.line_disables.items():
+            best: Optional[Tuple[int, int]] = None
+            for span in spans:
+                if span[0] <= line <= span[1] and (
+                        best is None
+                        or span[1] - span[0] < best[1] - best[0]):
+                    best = span
+            covered = range(best[0], best[1] + 1) if best else range(line,
+                                                                     line + 1)
+            for target in covered:
+                expanded.setdefault(target, set()).update(rules)
+        self.pragmas.line_disables = expanded
 
     # -- navigation --------------------------------------------------------
 
@@ -343,6 +383,10 @@ class LintResult:
     stale: List[BaselineEntry]
     file_count: int
     baseline_applied: int = 0
+    # Whole-program stats (populated by lint_project; zero for file-only runs).
+    module_count: int = 0
+    call_edges: int = 0
+    cache_hits: int = 0
 
     @property
     def ok(self) -> bool:
@@ -361,9 +405,17 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
 
 
 def lint_source(source: str, path: str, rules: Sequence[Rule],
-                module: Optional[str] = None) -> List[Finding]:
-    """Lint one source string (the API tests and editors use)."""
-    known_ids = {rule.id for rule in rules}
+                module: Optional[str] = None,
+                known_ids: Optional[Set[str]] = None) -> List[Finding]:
+    """Lint one source string (the API tests and editors use).
+
+    ``known_ids`` is the set of rule ids pragmas may legally name; it
+    defaults to the ids of ``rules`` but callers running only the
+    per-file families pass the full registry (file + project ids) so a
+    ``disable=REP0xx`` pragma for a project rule is not itself an error.
+    """
+    if known_ids is None:
+        known_ids = {rule.id for rule in rules}
     try:
         ctx = FileContext(path, source, known_ids, module=module)
     except SyntaxError as exc:
@@ -383,27 +435,13 @@ def lint_source(source: str, path: str, rules: Sequence[Rule],
     return sorted(findings.values(), key=lambda f: f.sort_key)
 
 
-def lint_paths(paths: Sequence[str], rules: Sequence[Rule],
-               baseline_path: Optional[str] = None) -> LintResult:
-    """Lint files/trees, then apply the committed baseline."""
-    known_ids = {rule.id for rule in rules}
-    findings: List[Finding] = []
-    file_count = 0
-    for file_path in iter_python_files(paths):
-        file_count += 1
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except OSError as exc:
-            findings.append(Finding(META_RULE, file_path.as_posix(), 1, 0,
-                                    f"cannot read file: {exc}", ""))
-            continue
-        findings.extend(lint_source(source, str(file_path), rules))
-
+def apply_baseline(findings: List[Finding], baseline_path: Optional[str],
+                   known_ids: Set[str], file_count: int) -> LintResult:
+    """Fold raw findings and the committed baseline into a LintResult."""
     entries: List[BaselineEntry] = []
     if baseline_path is not None:
         entries, baseline_errors = load_baseline(baseline_path, known_ids)
-        findings.extend(baseline_errors)
-
+        findings = findings + baseline_errors
     kept: List[Finding] = []
     matched: Set[BaselineEntry] = set()
     suppressed = 0
@@ -418,3 +456,24 @@ def lint_paths(paths: Sequence[str], rules: Sequence[Rule],
     kept.sort(key=lambda f: f.sort_key)
     return LintResult(findings=kept, stale=stale, file_count=file_count,
                       baseline_applied=suppressed)
+
+
+def lint_paths(paths: Sequence[str], rules: Sequence[Rule],
+               baseline_path: Optional[str] = None,
+               known_ids: Optional[Set[str]] = None) -> LintResult:
+    """Lint files/trees, then apply the committed baseline."""
+    if known_ids is None:
+        known_ids = {rule.id for rule in rules}
+    findings: List[Finding] = []
+    file_count = 0
+    for file_path in iter_python_files(paths):
+        file_count += 1
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(Finding(META_RULE, file_path.as_posix(), 1, 0,
+                                    f"cannot read file: {exc}", ""))
+            continue
+        findings.extend(lint_source(source, str(file_path), rules,
+                                    known_ids=known_ids))
+    return apply_baseline(findings, baseline_path, known_ids, file_count)

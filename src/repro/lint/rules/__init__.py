@@ -1,6 +1,6 @@
 """The reprolint rule registry.
 
-Three families (see DESIGN.md, "Static invariants and reprolint"):
+Per-file families (see DESIGN.md, "Static invariants and reprolint"):
 
 * determinism — REP001 wall clocks, REP002 unseeded RNGs, REP003
   unordered iteration in accounting code, REP004 ambient entropy,
@@ -10,20 +10,43 @@ Three families (see DESIGN.md, "Static invariants and reprolint"):
   denominators masking zero updates;
 * observability — REP020 meter mutation without a span emit, REP021
   swallowed failure evidence, REP022 unknown span kinds.
+
+Whole-program families (run by ``lint_project`` over a
+:class:`~repro.lint.project.ProjectContext`):
+
+* concurrency/fork-safety — REP030 fork primitives outside the
+  ``_fork_lock`` discipline, REP031 shared-memory lifecycle, REP032
+  non-daemon spawns, REP033 locks held across forking call chains,
+  REP034 process-global multiprocessing configuration;
+* interprocedural determinism taint — REP040 nondeterminism reaching
+  byte accounting, REP041 deterministic code consuming tainted helpers
+  across the fence, REP042 import-time entropy constants, REP043
+  tainted span stamps / RNG seeds;
+* contract conformance — REP050 orphan ``verify_*`` invariants, REP051
+  cross-module span-kind resolution, REP052 CLI/list parity, REP053
+  ``*Stats`` mirror completeness.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Set
 
 from ..engine import Rule
+from ..project import ProjectRule
+from .concurrency import (ForkDisciplineRule, GlobalStartMethodRule,
+                          LockAcrossForkRule, NonDaemonSpawnRule,
+                          SharedMemoryLifecycleRule)
 from .conservation import (FloatByteArithmeticRule, MaskedZeroDenominatorRule,
                            MeterMutationRule)
+from .contracts import (CliParityRule, SpanKindResolutionRule,
+                        StatsMirrorRule, UnregisteredVerifyRule)
 from .determinism import (AmbientEntropyRule, AmbientEnvironmentRule,
                           SaltedHashRule, UnorderedIterationRule,
                           UnseededRngRule, WallClockRule)
 from .observability import (SwallowedFailureRule, UnknownSpanKindRule,
                             UnpairedEmitRule)
+from .taint import (CrossModuleLaunderRule, TaintedAccountingRule,
+                    TaintedConstantRule, TaintedStampOrSeedRule)
 
 ALL_RULES: List[Rule] = [
     WallClockRule(),
@@ -40,6 +63,26 @@ ALL_RULES: List[Rule] = [
     UnknownSpanKindRule(),
 ]
 
-RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+PROJECT_RULES: List[ProjectRule] = [
+    ForkDisciplineRule(),
+    SharedMemoryLifecycleRule(),
+    NonDaemonSpawnRule(),
+    LockAcrossForkRule(),
+    GlobalStartMethodRule(),
+    TaintedAccountingRule(),
+    CrossModuleLaunderRule(),
+    TaintedConstantRule(),
+    TaintedStampOrSeedRule(),
+    UnregisteredVerifyRule(),
+    SpanKindResolutionRule(),
+    CliParityRule(),
+    StatsMirrorRule(),
+]
 
-__all__ = ["ALL_RULES", "RULES_BY_ID"]
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+RULES_BY_ID.update({rule.id: rule for rule in PROJECT_RULES})
+
+#: Every rule id a pragma or baseline entry may legally name.
+KNOWN_IDS: Set[str] = set(RULES_BY_ID)
+
+__all__ = ["ALL_RULES", "PROJECT_RULES", "RULES_BY_ID", "KNOWN_IDS"]

@@ -8,7 +8,7 @@ way to it.  These rules keep the emit sites and the failure paths honest.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from ..engine import FileContext, Finding, Rule, dotted_name
 from .conservation import METER_MUTATION_MODULES, meter_mutation_call
@@ -105,7 +105,7 @@ class SwallowedFailureRule(Rule):
         return True
 
     @staticmethod
-    def _caught_names(node) -> List[str]:
+    def _caught_names(node: Optional[ast.expr]) -> List[str]:
         if node is None:
             return []
         elements = node.elts if isinstance(node, ast.Tuple) else [node]

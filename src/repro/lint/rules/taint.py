@@ -1,0 +1,363 @@
+"""Interprocedural determinism taint (REP040–REP043).
+
+REP001/REP004 catch a wall-clock or entropy call *where it happens*; they
+cannot see the value after it is stored in a helper's return, a module
+constant, or an argument that crosses a module boundary into byte
+accounting.  This family runs a small dataflow analysis over the whole
+project:
+
+* **sources** — wall clocks, entropy, process-global RNG draws (the same
+  tables REP001/REP002/REP004 use);
+* **propagation** — assignments inside a function (a monotone local
+  fixpoint: a name once tainted stays tainted), function return values
+  (a global fixpoint over the call graph), and module-level constants;
+* **sinks** — meter mutation arguments, byte-named assignment targets and
+  keyword arguments, ``*Report`` constructors, ``record_span`` start/end
+  stamps, and RNG seeds.
+
+Known false negatives (documented in DESIGN.md): taint is not tracked
+through function *parameters*, containers, attributes of ``self``, or
+string formatting — the analysis only misses, it never invents, so every
+finding is a real resolvable flow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..engine import FileContext, Finding, dotted_name
+from ..graph import FunctionInfo, ModuleInfo
+from ..project import ProjectContext, ProjectRule
+from .conservation import is_byteish, meter_mutation_call
+from .determinism import (DETERMINISTIC_PACKAGES, _ENTROPY_CALLS,
+                          _GLOBAL_RANDOM_FNS, _WALL_CLOCK_CALLS)
+
+_MAX_LOCAL_PASSES = 8
+_MAX_GLOBAL_PASSES = 8
+
+
+def source_call_reason(dotted: str) -> Optional[str]:
+    """Why a call's result is nondeterministic, or None if it isn't."""
+    if dotted in _WALL_CLOCK_CALLS:
+        return f"wall clock {dotted}()"
+    if dotted in _ENTROPY_CALLS:
+        return f"entropy source {dotted}()"
+    if dotted.startswith("random.") \
+            and dotted.split(".")[-1] in _GLOBAL_RANDOM_FNS:
+        return f"process-global RNG {dotted}()"
+    return None
+
+
+class TaintAnalysis:
+    """Project-wide nondeterminism taint: constants and return values."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        #: "module.CONST" -> reason the constant is tainted.
+        self.tainted_constants: Dict[str, str] = {}
+        #: function node_id -> reason its return value is tainted.
+        self.tainted_returns: Dict[str, str] = {}
+        self._local_cache: Dict[str, Dict[str, str]] = {}
+        self._compute()
+
+    # -- construction ------------------------------------------------------
+
+    def _compute(self) -> None:
+        for info in self.project.modules.values():
+            for name, expr in info.constants.items():
+                reason = self.expr_taint(info, expr, {})
+                if reason is not None:
+                    self.tainted_constants[f"{info.module}.{name}"] = reason
+        for _ in range(_MAX_GLOBAL_PASSES):
+            changed = False
+            self._local_cache.clear()
+            for info in self.project.modules.values():
+                for fn in info.functions.values():
+                    if fn.node_id in self.tainted_returns:
+                        continue
+                    reason = self._return_taint(info, fn)
+                    if reason is not None:
+                        self.tainted_returns[fn.node_id] = reason
+                        changed = True
+            if not changed:
+                break
+        self._local_cache.clear()
+
+    def _return_taint(self, info: ModuleInfo,
+                      fn: FunctionInfo) -> Optional[str]:
+        local = self.local_taint(info, fn)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                reason = self.expr_taint(info, node.value, local)
+                if reason is not None:
+                    return reason
+        return None
+
+    # -- queries -----------------------------------------------------------
+
+    def local_taint(self, info: ModuleInfo,
+                    fn: FunctionInfo) -> Dict[str, str]:
+        """Names tainted inside ``fn``: name -> reason (monotone fixpoint)."""
+        cached = self._local_cache.get(fn.node_id)
+        if cached is not None:
+            return cached
+        local: Dict[str, str] = {}
+        for _ in range(_MAX_LOCAL_PASSES):
+            changed = False
+            for node in ast.walk(fn.node):
+                targets: List[ast.expr] = []
+                value: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets, value = [node.target], node.value
+                if value is None:
+                    continue
+                reason = self.expr_taint(info, value, local)
+                if reason is None:
+                    continue
+                for target in targets:
+                    for leaf in ast.walk(target):
+                        if isinstance(leaf, ast.Name) \
+                                and leaf.id not in local:
+                            local[leaf.id] = reason
+                            changed = True
+            if not changed:
+                break
+        self._local_cache[fn.node_id] = local
+        return local
+
+    def expr_taint(self, info: ModuleInfo, expr: ast.expr,
+                   local: Dict[str, str]) -> Optional[str]:
+        """The first taint reason found anywhere under ``expr``."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                dotted = info.expand(dotted_name(node.func))
+                reason = source_call_reason(dotted)
+                if reason is not None:
+                    return reason
+                callee = self.project.resolve_function(
+                    info, dotted_name(node.func))
+                if callee is not None \
+                        and callee.node_id in self.tainted_returns:
+                    return (f"{callee.node_id}() returns "
+                            f"{self.tainted_returns[callee.node_id]}")
+            elif isinstance(node, ast.Name):
+                if node.id in local:
+                    return local[node.id]
+                constant = self._constant_taint(info, node.id)
+                if constant is not None:
+                    return constant
+            elif isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                if dotted:
+                    constant = self._constant_taint(info, dotted)
+                    if constant is not None:
+                        return constant
+        return None
+
+    def _constant_taint(self, info: ModuleInfo,
+                        dotted: str) -> Optional[str]:
+        expanded = info.expand(dotted)
+        if "." not in expanded:
+            key = f"{info.module}.{expanded}"
+            if key in self.tainted_constants:
+                return f"constant {key} = {self.tainted_constants[key]}"
+            return None
+        owner, rest = self.project.split_module(expanded)
+        if owner is None or "." in rest:
+            return None
+        key = f"{owner}.{rest}"
+        if key in self.tainted_constants:
+            return f"constant {key} = {self.tainted_constants[key]}"
+        return None
+
+
+def _analysis(project: ProjectContext) -> TaintAnalysis:
+    """One shared TaintAnalysis per ProjectContext (cached on it)."""
+    cached = getattr(project, "_taint_analysis", None)
+    if cached is None:
+        cached = TaintAnalysis(project)
+        project._taint_analysis = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def _iter_function_scopes(info: ModuleInfo,
+                          analysis: TaintAnalysis,
+                          ) -> Iterator[Tuple[FunctionInfo, Dict[str, str]]]:
+    for fn in info.functions.values():
+        yield fn, analysis.local_taint(info, fn)
+
+
+class TaintedAccountingRule(ProjectRule):
+    """REP040: nondeterministic values must not reach byte accounting."""
+
+    id = "REP040"
+    summary = "nondeterministic value flows into byte accounting"
+    hint = ("byte counters, meter records, and replay reports must be pure "
+            "functions of the trace; derive the value from simulated time "
+            "or the record's inputs")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = _analysis(project)
+        for info in project.repro_modules():
+            ctx = info.ctx
+            for fn, local in _iter_function_scopes(info, analysis):
+                for finding in self._check_scope(ctx, info, analysis,
+                                                 fn.node, local):
+                    yield finding
+
+    def _check_scope(self, ctx: FileContext, info: ModuleInfo,
+                     analysis: TaintAnalysis, scope: ast.AST,
+                     local: Dict[str, str]) -> Iterator[Finding]:
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Call):
+                mutation = meter_mutation_call(node)
+                is_report = dotted_name(node.func).split(".")[-1] \
+                    .endswith("Report")
+                for arg in list(node.args) \
+                        + [kw.value for kw in node.keywords]:
+                    reason = analysis.expr_taint(info, arg, local)
+                    if reason is None:
+                        continue
+                    if mutation:
+                        yield self.at(ctx, arg,
+                                      f"{reason} flows into {mutation} — "
+                                      f"the meter ledger is no longer a "
+                                      f"function of the trace")
+                        break
+                    if is_report:
+                        yield self.at(ctx, arg,
+                                      f"{reason} flows into "
+                                      f"{dotted_name(node.func)}(...) — "
+                                      f"replay reports must replay")
+                        break
+                for keyword in node.keywords:
+                    if keyword.arg and is_byteish(keyword.arg):
+                        reason = analysis.expr_taint(info, keyword.value,
+                                                     local)
+                        if reason is not None:
+                            yield self.at(ctx, keyword.value,
+                                          f"{reason} passed as byte "
+                                          f"argument '{keyword.arg}='")
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                byteish = [t for t in targets
+                           for leaf in ast.walk(t)
+                           if isinstance(leaf, (ast.Name, ast.Attribute))
+                           and is_byteish(getattr(leaf, "id", None)
+                                          or getattr(leaf, "attr", ""))]
+                if not byteish or node.value is None:
+                    continue
+                reason = analysis.expr_taint(info, node.value, local)
+                if reason is not None:
+                    yield self.at(ctx, node,
+                                  f"{reason} assigned to a byte counter")
+
+
+class CrossModuleLaunderRule(ProjectRule):
+    """REP041: deterministic code calling a tainted helper elsewhere.
+
+    The helper's own module may legitimately touch the clock (cli,
+    reporting); the violation is *importing the result* into a package
+    that promises determinism — exactly what per-file REP001 cannot see.
+    """
+
+    id = "REP041"
+    summary = "deterministic code consumes a nondeterministic helper"
+    hint = ("the callee returns wall-clock/entropy data; inline a "
+            "deterministic equivalent or pass the value in from the edge")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = _analysis(project)
+        for info in project.repro_modules():
+            if not info.ctx.in_package(*DETERMINISTIC_PACKAGES):
+                continue
+            ctx = info.ctx
+            for node in ctx.walk():
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = project.resolve_function(info,
+                                                  dotted_name(node.func))
+                if callee is None \
+                        or callee.node_id not in analysis.tainted_returns:
+                    continue
+                if callee.module == info.module or any(
+                        callee.module == p or callee.module.startswith(p + ".")
+                        for p in DETERMINISTIC_PACKAGES):
+                    # In-fence taint is REP001/REP040's jurisdiction.
+                    continue
+                reason = analysis.tainted_returns[callee.node_id]
+                yield self.at(ctx, node,
+                              f"{info.module} calls {callee.node_id}() "
+                              f"which returns {reason}; the determinism "
+                              f"fence is breached from outside")
+
+
+class TaintedConstantRule(ProjectRule):
+    """REP042: module constants must not capture run-time entropy."""
+
+    id = "REP042"
+    summary = "module-level constant captures wall-clock/entropy at import"
+    hint = ("a constant evaluated at import time differs per process; "
+            "compute the value inside the run from its inputs")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = _analysis(project)
+        for info in project.repro_modules():
+            ctx = info.ctx
+            for name, expr in sorted(info.constants.items()):
+                key = f"{info.module}.{name}"
+                reason = analysis.tainted_constants.get(key)
+                if reason is not None:
+                    yield self.at(ctx, expr,
+                                  f"{key} = ... captures {reason} at "
+                                  f"import time")
+
+
+class TaintedStampOrSeedRule(ProjectRule):
+    """REP043: span stamps and RNG seeds must be deterministic."""
+
+    id = "REP043"
+    summary = "nondeterministic span stamp or RNG seed"
+    hint = ("span start/end come from the simulated clock; seeds derive "
+            "from the record's identity, never from entropy")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = _analysis(project)
+        for info in project.repro_modules():
+            ctx = info.ctx
+            for fn, local in _iter_function_scopes(info, analysis):
+                for node in ast.walk(fn.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    for finding in self._check_call(ctx, info, analysis,
+                                                    node, local):
+                        yield finding
+
+    def _check_call(self, ctx: FileContext, info: ModuleInfo,
+                    analysis: TaintAnalysis, node: ast.Call,
+                    local: Dict[str, str]) -> Iterator[Finding]:
+        dotted = info.expand(dotted_name(node.func))
+        tail = dotted.split(".")[-1]
+        if tail == "record_span":
+            stamps = list(node.args[3:5])
+            stamps += [kw.value for kw in node.keywords
+                       if kw.arg in ("start", "end")]
+            for stamp in stamps:
+                reason = analysis.expr_taint(info, stamp, local)
+                if reason is not None:
+                    yield self.at(ctx, stamp,
+                                  f"span stamp derives from {reason}; the "
+                                  f"audit would see different timings "
+                                  f"every run")
+        elif tail in ("Random", "default_rng", "seed"):
+            for arg in list(node.args) \
+                    + [kw.value for kw in node.keywords]:
+                reason = analysis.expr_taint(info, arg, local)
+                if reason is not None:
+                    yield self.at(ctx, arg,
+                                  f"RNG seeded from {reason}; every run "
+                                  f"draws a different stream")

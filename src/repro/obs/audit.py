@@ -56,7 +56,7 @@ class AuditViolation(Exception):
 
     def __init__(self, invariant: str, message: str,
                  span: Optional[Span] = None,
-                 session: Optional[str] = None):
+                 session: Optional[str] = None) -> None:
         self.invariant = invariant
         self.span = span
         self.session = session

@@ -120,7 +120,7 @@ class TraceRecorder:
     """Ordered ledger of spans for one session (one meter)."""
 
     def __init__(self, label: str = "session",
-                 meter: Optional[TrafficMeter] = None):
+                 meter: Optional[TrafficMeter] = None) -> None:
         self.label = label
         self.meter = meter
         self.spans: List[Span] = []

@@ -86,3 +86,28 @@ def test_lint_fixture_files_only_when_named_explicitly(capsys):
 def test_lint_listed_in_cli_index(capsys):
     assert main(["list"]) == 0
     assert "lint" in capsys.readouterr().out
+
+
+# -- whole-program mode (issue 9) -------------------------------------------
+
+def test_lint_graph_text_mode_prints_graph_stats(violating_tree, capsys):
+    assert main(["lint", str(violating_tree / "src"), "--graph"]) == 1
+    out = capsys.readouterr().out
+    assert "project graph:" in out and "call edge(s)" in out
+    assert "REP001" in out
+
+
+def test_lint_graph_json_payload_includes_graph_block(violating_tree,
+                                                      tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["lint", str(violating_tree / "src"), "--graph",
+                 "--jobs", "2", "--cache-dir", str(cache),
+                 "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["graph"]["modules"] >= 1
+    assert payload["graph"]["cache_hits"] == 0
+    # Warm run against the same cache reports the hits.
+    assert main(["lint", str(violating_tree / "src"), "--graph",
+                 "--cache-dir", str(cache), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["graph"]["cache_hits"] == payload["files"] + 1

@@ -197,3 +197,55 @@ def test_baseline_never_hides_meta_findings(tmp_path):
 def test_missing_baseline_file_is_an_error(tmp_path):
     entries, errors = load_baseline(str(tmp_path / "nope.json"), KNOWN_IDS)
     assert entries == [] and errors[0].rule == META_RULE
+
+
+# -- multi-line statement pragma anchoring (issue 9 satellite) --------------
+
+def test_pragma_on_first_line_of_multiline_call_suppresses_continuation():
+    findings = _lint("""\
+        import time
+
+        def f(transform):
+            value = transform(  # reprolint: disable=REP001 deliberate
+                time.time(),
+            )
+            return value
+        """)
+    assert findings == []
+
+
+def test_pragma_anchors_to_the_innermost_statement_only():
+    findings = _lint("""\
+        import time
+
+        def f(transform):
+            value = transform(  # reprolint: disable=REP001 deliberate
+                time.time(),
+            )
+            later = time.time()
+            return value, later
+        """)
+    assert [(f.rule, f.line) for f in findings] == [("REP001", 7)]
+
+
+def test_pragma_on_continuation_line_also_covers_the_statement():
+    findings = _lint("""\
+        import time
+
+        def f(transform):
+            value = transform(
+                time.time(),
+            )  # reprolint: disable=REP001 deliberate
+            return value
+        """)
+    assert findings == []
+
+
+def test_pragma_on_def_line_does_not_blanket_the_body():
+    findings = _lint("""\
+        import time
+
+        def f():  # reprolint: disable=REP001 only the header
+            return time.time()
+        """)
+    assert [(f.rule, f.line) for f in findings] == [("REP001", 4)]

@@ -1,0 +1,161 @@
+"""Symbol-table and call-graph tests for the whole-program lint layer."""
+
+import textwrap
+
+from repro.lint import KNOWN_IDS, ProjectContext
+
+
+def _project(tree):
+    """Build a ProjectContext from {relative_path: source} mappings."""
+    entries = [(path, textwrap.dedent(source))
+               for path, source in sorted(tree.items())]
+    return ProjectContext(entries, KNOWN_IDS)
+
+
+# -- import bindings --------------------------------------------------------
+
+def test_import_bindings_absolute_aliased_and_from():
+    project = _project({"src/repro/a.py": """\
+        import multiprocessing
+        import multiprocessing.shared_memory as shm
+        from multiprocessing import resource_tracker
+        from os import urandom as entropy
+        """})
+    info = project.modules["repro.a"]
+    assert info.imports["multiprocessing"] == "multiprocessing"
+    assert info.imports["shm"] == "multiprocessing.shared_memory"
+    assert info.imports["resource_tracker"] \
+        == "multiprocessing.resource_tracker"
+    assert info.imports["entropy"] == "os.urandom"
+    assert info.expand("shm.SharedMemory") \
+        == "multiprocessing.shared_memory.SharedMemory"
+    assert info.expand("unbound.name") == "unbound.name"
+
+
+def test_relative_imports_resolve_against_the_package():
+    project = _project({
+        "src/repro/obs/recorder.py": 'SPAN_KINDS = ("connect",)\n',
+        "src/repro/lint/rules/observability.py": """\
+            from ...obs.recorder import SPAN_KINDS
+            from ..engine import Rule
+            from . import helpers
+            """,
+        "src/repro/sub/__init__.py": """\
+            from .leaf import thing
+            """,
+    })
+    rules_mod = project.modules["repro.lint.rules.observability"]
+    assert rules_mod.imports["SPAN_KINDS"] == "repro.obs.recorder.SPAN_KINDS"
+    assert rules_mod.imports["Rule"] == "repro.lint.engine.Rule"
+    assert rules_mod.imports["helpers"] == "repro.lint.rules.helpers"
+    # A package's __init__ resolves level-1 against itself, not its parent.
+    init = project.modules["repro.sub"]
+    assert init.imports["thing"] == "repro.sub.leaf.thing"
+
+
+def test_over_deep_relative_import_is_ignored_not_fatal():
+    project = _project({"src/repro/a.py": "from .....nowhere import x\n"})
+    assert "x" not in project.modules["repro.a"].imports
+
+
+# -- symbols ----------------------------------------------------------------
+
+def test_functions_methods_classes_and_constants_are_collected():
+    project = _project({"src/repro/mod.py": """\
+        LIMIT = 4096
+        NAME: str = "x"
+
+        class Worker:
+            def run(self):
+                return LIMIT
+
+        def helper():
+            local = 1  # not a module constant
+            return local
+        """})
+    info = project.modules["repro.mod"]
+    assert set(info.functions) == {"Worker.run", "helper"}
+    assert info.functions["Worker.run"].name == "run"
+    assert info.functions["Worker.run"].node_id == "repro.mod:Worker.run"
+    assert info.classes == {"Worker"}
+    assert set(info.constants) == {"LIMIT", "NAME"}
+
+
+# -- constant resolution ----------------------------------------------------
+
+def test_resolve_constant_chases_across_modules_and_aliases():
+    project = _project({
+        "src/repro/kinds.py": 'BUNDLE = "bundle-commit"\nALIAS = BUNDLE\n',
+        "src/repro/reexport.py": "from repro.kinds import ALIAS as KIND\n",
+        "src/repro/user.py": "from repro.reexport import KIND\n",
+    })
+    user = project.modules["repro.user"]
+    resolved = project.resolve_constant(user, "KIND")
+    assert resolved is not None and resolved.value == "bundle-commit"
+
+
+def test_resolve_constant_returns_none_outside_the_project():
+    project = _project({"src/repro/a.py": "import os\nX = os.sep\n"})
+    info = project.modules["repro.a"]
+    assert project.resolve_constant(info, "os.sep") is None
+
+
+# -- call graph -------------------------------------------------------------
+
+def test_call_graph_resolves_cross_module_and_self_calls():
+    project = _project({
+        "src/repro/util.py": """\
+            def leaf():
+                return 1
+            """,
+        "src/repro/app.py": """\
+            from repro.util import leaf
+
+            class Driver:
+                def outer(self):
+                    return self.inner()
+
+                def inner(self):
+                    return leaf()
+            """,
+    })
+    graph = project.call_graph
+    assert "repro.util:leaf" in set(
+        graph.callees_of("repro.app:Driver.inner"))
+    assert "repro.app:Driver.inner" in set(
+        graph.callees_of("repro.app:Driver.outer"))
+    # Transitive reachability: outer -> inner -> leaf.
+    path = graph.reaches("repro.app:Driver.outer", {"repro.util:leaf"})
+    assert path == ["repro.app:Driver.outer", "repro.app:Driver.inner",
+                    "repro.util:leaf"]
+    assert graph.reaches("repro.util:leaf", {"repro.app:Driver.outer"}) \
+        is None
+
+
+def test_constructor_calls_resolve_to_init():
+    project = _project({
+        "src/repro/a.py": """\
+            class Pump:
+                def __init__(self):
+                    self.x = 1
+            """,
+        "src/repro/b.py": """\
+            from repro.a import Pump
+
+            def build():
+                return Pump()
+            """,
+    })
+    assert "repro.a:Pump.__init__" in set(
+        project.call_graph.callees_of("repro.b:build"))
+
+
+def test_module_level_calls_attribute_to_module_scope():
+    project = _project({"src/repro/a.py": """\
+        def setup():
+            return 1
+
+        VALUE = setup()
+        """})
+    assert "repro.a:setup" in set(
+        project.call_graph.callees_of("repro.a:<module>"))
