@@ -1,0 +1,154 @@
+"""Experiment 11: TUE of four sync strategies + the adaptive selector.
+
+The paper measures *which services* waste traffic; this bench sweeps *how a
+client could stop wasting it*.  Four transfer strategies —
+
+* ``full-file``     — ship every update whole (the baseline engines),
+* ``fixed-delta``   — rsync fixed-block delta against the synced shadow,
+* ``cdc-delta``     — whole-chunk delta cut by the gear-hash CDC chunker,
+* ``set-reconcile`` — digest-sketch reconciliation: one extra round trip
+  for near-minimal bytes against the user's whole cloud index —
+
+plus the ``adaptive`` selector (per-file argmin of exact cost estimates,
+the ASD lineage) run over three workloads (fresh uploads, scattered
+in-place edits, near-duplicate clones) × three link profiles (MN, BJ,
+LTE).  Three checks run on the way:
+
+* **honest ledger** — every cell runs under the full conservation audit,
+  including the new ``strategy-conservation`` invariant (per-strategy
+  cost-vector sums must equal the wire exchanges they claim);
+* **rerun byte-identity** — the sweep runs twice; the cells *and* the
+  rendered frontier matrix must be byte-identical;
+* **the headline claim** — the adaptive selector's TUE is <= every static
+  strategy's on every workload × link cell, while no static strategy wins
+  every row.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_strategies.py           # full sweep
+    PYTHONPATH=src python benchmarks/bench_strategies.py --smoke   # CI guard
+
+The full sweep regenerates the committed ``BENCH_strategies.json``;
+``--smoke`` runs a reduced sweep and writes nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+if __package__ is None and __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import STRATEGIES, experiment11_strategies
+from repro.obs import audit_hub, recording
+from repro.reporting import render_strategy_matrix
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_strategies.json"
+
+
+def run_sweep(files: int, seed: int):
+    """One audited sweep; returns (cells, rendered frontier matrix)."""
+    with recording() as hub:
+        cells = experiment11_strategies(files=files, seed=seed)
+    audit_hub(hub)
+    rendered = render_strategy_matrix(
+        cells, title=f"Experiment 11 — sync strategies (seed {seed})")
+    return cells, rendered
+
+
+def check_dominance(cells) -> None:
+    """Adaptive <= every static on every cell; no static sweeps the board."""
+    adaptive = {(c.workload, c.link): c.tue
+                for c in cells if c.strategy == "adaptive"}
+    static_wins = {name: 0 for name in STRATEGIES if name != "adaptive"}
+    rows = 0
+    for (workload, link), tue in sorted(adaptive.items()):
+        statics = [c for c in cells
+                   if c.strategy != "adaptive"
+                   and (c.workload, c.link) == (workload, link)]
+        rows += 1
+        for cell in statics:
+            if tue > cell.tue + 1e-12:
+                raise AssertionError(
+                    f"adaptive TUE {tue:.4f} loses to {cell.strategy} "
+                    f"({cell.tue:.4f}) on {workload}/{link}")
+        best = min(statics, key=lambda c: c.tue)
+        static_wins[best.strategy] += 1
+    board_sweep = [name for name, wins in static_wins.items()
+                   if wins == rows]
+    if board_sweep:
+        raise AssertionError(
+            f"{board_sweep[0]} wins every row — the workload set no longer "
+            f"exercises the strategy frontier")
+
+
+def sweep(files: int, seed: int) -> dict:
+    cells, rendered = run_sweep(files, seed)
+    cells2, rendered2 = run_sweep(files, seed)
+    if cells != cells2 or rendered != rendered2:
+        raise AssertionError("strategy sweep is not rerun byte-identical")
+    print(rendered)
+    check_dominance(cells)
+    print("adaptive selector TUE <= every static strategy on every "
+          "workload x link cell")
+
+    return {
+        "bench": "sync_strategies",
+        "seed": seed,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "note": ("TUE per strategy x workload x link; every cell audited "
+                 "(incl. strategy-conservation) and the sweep re-run for "
+                 "byte-identity before reporting."),
+        "cells": [
+            {
+                "strategy": c.strategy,
+                "workload": c.workload,
+                "link": c.link,
+                "files": c.files,
+                "update_bytes": c.update_bytes,
+                "traffic": c.traffic,
+                "strategy_payload": c.strategy_payload,
+                "round_trips": c.round_trips,
+                "cpu_units": c.cpu_units,
+                "tue": round(c.tue, 4),
+            }
+            for c in cells
+        ],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sweep; asserts the audit, rerun "
+                             "byte-identity, and adaptive dominance; "
+                             "writes no JSON (CI uses this)")
+    parser.add_argument("--files", type=int, default=3,
+                        help="files per workload cell")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sweep(2, args.seed)
+        print("smoke sweep OK (audited, rerun byte-identical, adaptive "
+              "dominates every cell)")
+        return 0
+
+    results = sweep(args.files, args.seed)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

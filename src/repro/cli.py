@@ -51,6 +51,7 @@ def cmd_list(_args) -> int:
         ["overuse", "per-user traffic-overuse statistic ([36])"],
         ["fleet", "shared-folder fleet: N writers, fan-out amplification"],
         ["backends", "Experiment 10: storage backends × file-size mixes"],
+        ["strategies", "Experiment 11: sync strategies × workloads × links"],
         ["audit", "run an experiment under the byte-conservation auditor"],
         ["trace-run", "record an experiment's wire-level span trace (JSONL)"],
         ["lint", "reprolint: static determinism/conservation invariants"],
@@ -312,7 +313,7 @@ def cmd_replay(args) -> int:
 #: a different slice of the wire model (experiments 1–8 and the parallel
 #: trace replay) while staying fast enough for CI.
 OBS_TARGETS = ("exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7",
-               "exp8", "exp10", "replay", "all")
+               "exp8", "exp10", "exp11", "replay", "all")
 
 
 def _obs_run_target(args, target: str) -> str:
@@ -366,6 +367,15 @@ def _obs_run_target(args, target: str) -> str:
         from .core import run_backend_cell
         run_backend_cell("packshard", "paper", files=24)
         return "experiment 10 (packed-shard bundled commit)"
+    if target == "exp11":
+        from .core import run_strategy_cell
+        # One static and the adaptive selector over the delta-friendly
+        # workload: exercises every new span kind (strategy-select,
+        # delta-exchange) plus the strategy-conservation invariant.
+        for name in ("fixed-delta", "set-reconcile", "adaptive"):
+            run_strategy_cell(name, "scatter-edit", "mn", files=2,
+                              seed=args.seed)
+        return "experiment 11 (sync strategies, scatter-edit over MN)"
     if target == "replay":
         from .trace import ReplayPool, generate_trace
         trace = generate_trace(scale=args.scale, seed=args.seed)
@@ -501,6 +511,38 @@ def cmd_backends(args) -> int:
     return 0
 
 
+def cmd_strategies(args) -> int:
+    from .core import experiment11_strategies
+    from .obs import AuditViolation, audit_hub, recording
+    from .reporting import render_strategy_matrix
+
+    title = f"Experiment 11 — sync strategies (seed {args.seed})"
+    if args.audit:
+        try:
+            with recording() as hub:
+                cells = experiment11_strategies(files=args.files,
+                                                seed=args.seed)
+            audit_hub(hub)
+        except AuditViolation as violation:
+            print(f"AUDIT FAILED: {violation}")
+            return 1
+    else:
+        cells = experiment11_strategies(files=args.files, seed=args.seed,
+                                        audit=False)
+    print(render_strategy_matrix(cells, title=title))
+    adaptive = {(c.workload, c.link): c.tue
+                for c in cells if c.strategy == "adaptive"}
+    dominated = all(
+        adaptive[(c.workload, c.link)] <= c.tue + 1e-12
+        for c in cells
+        if c.strategy != "adaptive" and (c.workload, c.link) in adaptive)
+    print("adaptive selector TUE <= every static strategy on every cell: "
+          + ("yes" if dominated else "NO"))
+    if args.audit:
+        print("conservation audit passed (incl. strategy-conservation)")
+    return 0 if dominated else 1
+
+
 def cmd_audit(args) -> int:
     return _cmd_observed(args, audit=True)
 
@@ -579,6 +621,10 @@ def build_parser() -> argparse.ArgumentParser:
            "--audit": dict(action="store_true")})
     add("backends", cmd_backends,
         **{"--files": dict(type=int, default=None),
+           "--seed": dict(type=int, default=0),
+           "--audit": dict(action="store_true")})
+    add("strategies", cmd_strategies,
+        **{"--files": dict(type=int, default=3),
            "--seed": dict(type=int, default=0),
            "--audit": dict(action="store_true")})
     add("overuse", cmd_overuse,

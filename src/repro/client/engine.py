@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from ..chunking import chunk_data
 from ..cloud import CloudServer, NotFound, QuotaExceeded, TransientError
 from ..content import Content
-from ..delta import compute_delta, compute_signature
+from ..delta import FileSignature, compute_signature
 from ..fsim import FileEvent, FileOp, SyncFolder
 from ..simnet import (
     Channel,
@@ -41,6 +41,9 @@ from .defer import DeferPolicy, DeferState
 from .hardware import M1, MachineProfile
 from .profiles import BdsMode, ServiceProfile
 from .retry import RetriesExhausted, RetryPolicy, RetryState
+from .strategies.base import SyncStrategy, TransferTally
+from .strategies.fixedblock import FIXED_DELTA
+from .strategies.fullfile import FULL_FILE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..obs.recorder import TraceRecorder
@@ -91,6 +94,8 @@ class ClientStats:
     renames_synced: int = 0
     full_file_syncs: int = 0
     delta_syncs: int = 0
+    cdc_delta_syncs: int = 0
+    recon_syncs: int = 0
     dedup_skipped_units: int = 0
     dedup_skipped_bytes: int = 0
     failed_syncs: int = 0
@@ -119,6 +124,7 @@ class SyncClient:
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultInjector] = None,
         recorder: Optional["TraceRecorder"] = None,
+        strategy: Optional[SyncStrategy] = None,
     ):
         if link is None:
             raise ValueError("a Link is required (use simnet.mn_link()/bj_link())")
@@ -137,6 +143,18 @@ class SyncClient:
         self._retry_state: Optional[RetryState] = (
             retry.make_state() if retry is not None else None)
         self.defer_policy: DeferPolicy = profile.make_defer()
+        #: Explicit sync strategy (see :mod:`repro.client.strategies`).
+        #: ``None`` keeps the profile-driven default route: the IDS delta
+        #: path when eligible, full-file upload otherwise — byte-identical
+        #: to the pre-strategy engine.
+        self.strategy = strategy
+        #: Live cost ledger of the strategy transfer in flight, if any.
+        self._tally: Optional[TransferTally] = None
+        #: Cumulative per-strategy cost vectors, recorder-independent so
+        #: untraced runs report identical numbers: name -> TransferTally.
+        self.strategy_ledger: Dict[str, TransferTally] = {}
+        #: Per-strategy plan caches (see strategies.base._PlanCache).
+        self._strategy_plans: Dict[str, object] = {}
 
         self._pending: Dict[str, PendingChange] = {}
         self._defer_states: Dict[str, DeferState] = {}
@@ -388,13 +406,17 @@ class SyncClient:
         """
         if self.retry is None:
             self.server.check_available(self.channel.effective_now())
-            return self.channel.exchange(kind=kind, **kwargs)
+            duration = self.channel.exchange(kind=kind, **kwargs)
+            self._note_exchange(kwargs)
+            return duration
         duration = 0.0
         failures = 0
         while True:
             try:
                 self.server.check_available(self.channel.effective_now())
-                return duration + self.channel.exchange(kind=kind, **kwargs)
+                duration += self.channel.exchange(kind=kind, **kwargs)
+                self._note_exchange(kwargs)
+                return duration
             except (TransientError, TransferInterrupted) as error:
                 if isinstance(error, TransientError):
                     # A rejected request still costs its framing on the wire.
@@ -479,6 +501,8 @@ class SyncClient:
                     duration += self.channel.resend_wasted(
                         delivered_wire, kind=kind + "-restart")
             else:
+                if self._tally is not None:
+                    self._tally.note(wire)
                 delivered_wire += wire
                 failures = 0
                 index += 1
@@ -534,48 +558,108 @@ class SyncClient:
         else:
             rename_duration = 0.0
 
-        use_delta = (
-            profile.uses_ids
-            and not change.created
-            and path in self._shadow
-            and self._shadow[path].size > 0
-        )
         duration = rename_duration
 
-        if use_delta:
-            old = self._shadow[path]
-            cached = self._signature_cache.get(path)
-            if cached is not None and cached[0] is old:
-                signature = cached[1]
-            else:
-                signature = compute_signature(old.data, profile.delta_block)
-            delta = compute_delta(signature, content.data)
-            literals = b"".join(
-                op.data for op in delta.ops if hasattr(op, "data"))
-            wire_literals = profile.upload_compression.wire_size(Content(literals))
-            payload = wire_literals + (delta.wire_size - len(literals))
-            duration += self._polls(overhead.requests_per_sync - 1)
-            duration += self._guarded_exchange(
-                up_payload=payload,
-                up_meta=overhead.meta_up + int(overhead.per_byte_factor * payload),
-                down_meta=overhead.meta_down,
-                kind="delta-sync",
-            )
-            self.server.apply_delta(self.user, path, delta, content.md5)
-            self.stats.delta_syncs += 1
+        if self.strategy is not None:
+            spent, chosen = self._strategy_transfer(
+                self.strategy, change, content,
+                lightweight=lightweight, in_batch=in_batch, resolve=True)
         else:
-            duration += self._upload_full(
-                path, content, lightweight=lightweight, in_batch=in_batch)
-            self.stats.full_file_syncs += 1
+            # The profile-driven default route, unchanged from the
+            # pre-strategy engine: IDS profiles delta-sync modifications
+            # of a synced, non-empty basis; everything else ships whole.
+            use_delta = (
+                profile.uses_ids
+                and not change.created
+                and path in self._shadow
+                and self._shadow[path].size > 0
+            )
+            spent, chosen = self._strategy_transfer(
+                FIXED_DELTA if use_delta else FULL_FILE, change, content,
+                lightweight=lightweight, in_batch=in_batch)
+        duration += spent
 
         if overhead.notify_down:
             duration += self.channel.notify(overhead.notify_down)
         self._shadow[path] = content
-        if profile.uses_ids:
-            self._signature_cache[path] = (
-                content, compute_signature(content.data, profile.delta_block))
+        if self.strategy is None:
+            if profile.uses_ids:
+                self._signature_cache[path] = (
+                    content, compute_signature(content.data, profile.delta_block))
+        else:
+            block = chosen.basis_block_size(profile)
+            if block is not None:
+                self._signature_cache[path] = (
+                    content, compute_signature(content.data, block))
+            else:
+                self._signature_cache.pop(path, None)
         self.stats.files_synced += 1
         return duration
+
+    def _strategy_transfer(self, strategy: SyncStrategy, change: PendingChange,
+                           content: Content, lightweight: bool = False,
+                           in_batch: bool = False, resolve: bool = False):
+        """Run one strategy transfer under a cost tally; returns
+        ``(duration, concrete_strategy)``.
+
+        Every strategy-routed transfer emits one ``delta-exchange`` span
+        carrying its ``(wire_bytes, round_trips, cpu_units)`` cost vector
+        plus the payload ledger the strategy-conservation audit balances
+        against the named wire exchanges.  The span is emitted even when
+        the transfer dies mid-way (quota, exhausted retries): whatever
+        the failed attempt already put on the wire stays explained.
+        """
+        start = self.sim.now
+        before = self.meter.snapshot()
+        tally = TransferTally()
+        previous = self._tally
+        self._tally = tally
+        concrete = strategy
+        spent = 0.0
+        try:
+            if resolve:
+                concrete = strategy.resolve(self, change, content)
+            spent = concrete.transfer(self, change, content,
+                                      lightweight=lightweight,
+                                      in_batch=in_batch)
+            return spent, concrete
+        finally:
+            self._tally = previous
+            totals = self.strategy_ledger.setdefault(
+                concrete.name, TransferTally())
+            totals.payload += tally.payload
+            totals.exchanges += tally.exchanges
+            totals.cpu_units += tally.cpu_units
+            if self.recorder is not None:
+                delta = self.meter.since(before)
+                self.recorder.record_span(
+                    "delta-exchange", concrete.name, "client",
+                    start, start + spent,
+                    strategy=concrete.name, path=change.path,
+                    payload=tally.payload,
+                    wire_names=list(concrete.wire_names),
+                    wire_bytes=delta.up_total + delta.down_total,
+                    round_trips=tally.exchanges,
+                    cpu_units=tally.cpu_units)
+
+    def _basis_signature(self, path: str, old: Content,
+                         block_size: int) -> FileSignature:
+        """The basis signature for a delta sync, from the cache when it
+        still describes this exact basis content at this block size."""
+        cached = self._signature_cache.get(path)
+        if (cached is not None and cached[0] is old
+                and cached[1].block_size == block_size):
+            return cached[1]
+        return compute_signature(old.data, block_size)
+
+    def charge_cpu(self, units: int) -> None:
+        """Charge strategy computation (bytes processed) to the live tally."""
+        if self._tally is not None:
+            self._tally.charge_cpu(units)
+
+    def _note_exchange(self, kwargs: Dict) -> None:
+        if self._tally is not None:
+            self._tally.note(int(kwargs.get("up_payload", 0)))
 
     def _upload_full(self, path: str, content: Content,
                      lightweight: bool = False,
@@ -815,26 +899,35 @@ class SyncClient:
 
     def _sync_delete(self, change: PendingChange) -> float:
         """Fake deletion: a tiny attribute-change exchange (§4.2)."""
+        targets = []
         if change.path in self._shadow:
-            target = change.path
-        elif self._is_pure_rename(change):
-            # Renamed and then deleted before the rename ever synced: the
-            # cloud still knows the file under its old name.
-            target = change.renamed_from
-        else:
+            targets.append(change.path)
+        if (change.renamed_from is not None
+                and change.renamed_from in self._shadow
+                and not self.folder.exists(change.renamed_from)
+                and change.renamed_from not in targets):
+            # The deleted path had absorbed a not-yet-synced rename: the
+            # cloud still knows the content under the old name (and, when
+            # the rename landed on a previously-synced path, under both),
+            # so every orphaned name gets its own tombstone.
+            targets.append(change.renamed_from)
+        if not targets:
             return 0.0  # created and deleted before ever reaching the cloud
-        duration = self._guarded_exchange(
-            up_meta=_DELETE_META_UP, down_meta=_DELETE_META_DOWN, kind="delete")
-        try:
-            self.server.delete_file(self.user, target)
-        except NotFound:
-            pass
-        del self._shadow[target]
-        self._signature_cache.pop(target, None)
-        self.stats.deletions_synced += 1
-        self.stats.files_synced += 1
-        if self.profile.overhead.notify_down:
-            duration += self.channel.notify(self.profile.overhead.notify_down)
+        duration = 0.0
+        for target in targets:
+            duration += self._guarded_exchange(
+                up_meta=_DELETE_META_UP, down_meta=_DELETE_META_DOWN,
+                kind="delete")
+            try:
+                self.server.delete_file(self.user, target)
+            except NotFound:
+                pass
+            del self._shadow[target]
+            self._signature_cache.pop(target, None)
+            self.stats.deletions_synced += 1
+            self.stats.files_synced += 1
+            if self.profile.overhead.notify_down:
+                duration += self.channel.notify(self.profile.overhead.notify_down)
         return duration
 
     def _polls(self, count: int) -> float:

@@ -30,6 +30,7 @@ from .engine import SyncClient
 from .hardware import M1, MachineProfile
 from .profiles import AccessMethod, ServiceProfile, service_profile
 from .retry import RetryPolicy
+from .strategies.base import SyncStrategy
 
 
 class SyncSession:
@@ -47,6 +48,7 @@ class SyncSession:
         retry: Optional[RetryPolicy] = None,
         faults: Optional[Union[FaultInjector, FaultSchedule]] = None,
         recorder: Optional[TraceRecorder] = None,
+        strategy: Optional[SyncStrategy] = None,
     ):
         if isinstance(profile, str):
             profile = service_profile(profile, access)
@@ -80,7 +82,7 @@ class SyncSession:
             sim=self.sim, folder=self.folder, server=self.server,
             profile=profile, machine=machine, link=self.link,
             meter=self.meter, user=user, retry=retry, faults=faults,
-            recorder=recorder,
+            recorder=recorder, strategy=strategy,
         )
         self._update_bytes = 0
         self.folder.subscribe(self._track_update)

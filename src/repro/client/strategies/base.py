@@ -1,0 +1,186 @@
+"""The pluggable sync-strategy contract (see DESIGN.md).
+
+A :class:`SyncStrategy` owns the *content transfer* step of a single-file
+sync: everything between the engine's routing decision and the post-sync
+basis bookkeeping.  The engine stays responsible for batching, renames,
+deletions, notification, and the shadow/signature caches; the strategy
+decides what crosses the wire and through which exchanges.
+
+The contract has three legs:
+
+* :meth:`SyncStrategy.transfer` performs the exchanges against the
+  client's channel and server and returns wall-clock duration, exactly
+  like the engine methods it replaces;
+* :meth:`SyncStrategy.estimate` predicts the transfer's cost vector
+  *without* touching the wire — byte-exact under quiescent conditions
+  (warm connection, no faults), which is what lets the adaptive selector
+  dominate every static choice (a test pins estimate == metered);
+* every transfer reports a ``(wire_bytes, round_trips, cpu_units)`` cost
+  vector through a ``delta-exchange`` span, whose ``payload`` ledger the
+  ``strategy-conservation`` audit invariant balances against the named
+  wire exchanges.
+
+Strategies never import the engine: they duck-type on the client object
+(`client.profile`, ``client._guarded_exchange``, ``client.server``, …)
+so this package stays import-cycle-free, like the recorder protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+#: Meta bytes of one auxiliary poll exchange (mirrors ``SyncClient._polls``).
+POLL_META_UP = 250
+POLL_META_DOWN = 250
+
+
+@dataclass
+class TransferTally:
+    """Model-side ledger of one strategy transfer.
+
+    ``payload`` accumulates the ``up_payload`` of every *successful*
+    exchange the transfer issued (the meter's payload column for the same
+    bytes); ``exchanges`` counts them (the transfer's round trips);
+    ``cpu_units`` is the strategy's own computation charge, in bytes
+    processed.  The engine emits these on the ``delta-exchange`` span even
+    when the transfer dies mid-way, so partially-metered transfers stay
+    balanced under the strategy-conservation audit.
+    """
+
+    payload: int = 0
+    exchanges: int = 0
+    cpu_units: int = 0
+
+    def note(self, up_payload: int) -> None:
+        self.payload += int(up_payload)
+        self.exchanges += 1
+
+    def charge_cpu(self, units: int) -> None:
+        self.cpu_units += max(int(units), 0)
+
+
+@dataclass(frozen=True)
+class StrategyEstimate:
+    """Predicted cost vector of one transfer, before any byte moves.
+
+    ``up_bytes``/``down_bytes`` are total wire bytes (payload plus every
+    overhead the channel would meter, handshakes excluded — those are
+    connection-lifecycle costs identical across strategies);
+    ``round_trips`` counts request/response exchanges; ``cpu_units`` is
+    the bytes the strategy would have to process locally.
+    """
+
+    up_bytes: int
+    down_bytes: int
+    round_trips: int
+    cpu_units: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.up_bytes + self.down_bytes
+
+
+class SyncStrategy:
+    """Base class: one way to move a file's new content to the cloud."""
+
+    #: Stable identifier; also the ``delta-exchange`` span name.
+    name = "strategy"
+    #: Exchange kinds this strategy routes payload through.  The
+    #: strategy-conservation audit balances the span ledger against wire
+    #: spans with exactly these names, so a strategy that invents a new
+    #: exchange kind must list it here.
+    wire_names: Tuple[str, ...] = ()
+
+    def applicable(self, client: Any, change: Any, content: Any) -> bool:
+        """Can this strategy carry this change at all?"""
+        raise NotImplementedError
+
+    def transfer(self, client: Any, change: Any, content: Any,
+                 lightweight: bool = False, in_batch: bool = False) -> float:
+        """Move the content; returns wall-clock duration (seconds)."""
+        raise NotImplementedError
+
+    def estimate(self, client: Any, change: Any,
+                 content: Any) -> Optional[StrategyEstimate]:
+        """Exact cost prediction, or ``None`` when one cannot be promised
+        (e.g. dedup negotiation or retry chunking makes bytes depend on
+        server state the planner does not model)."""
+        return None
+
+    def resolve(self, client: Any, change: Any, content: Any) -> "SyncStrategy":
+        """The concrete strategy that will carry this change.
+
+        Static strategies answer themselves when applicable and fall back
+        to full-file upload otherwise; the adaptive selector overrides
+        this with its scoring pass.
+        """
+        if self.applicable(client, change, content):
+            return self
+        from .fullfile import FULL_FILE
+        return FULL_FILE
+
+    def basis_block_size(self, profile: Any) -> Optional[int]:
+        """Fixed block size to pre-sign the new basis with after a
+        successful sync, or ``None`` to drop any cached signature."""
+        return None
+
+    # -- shared helpers ---------------------------------------------------
+
+    @staticmethod
+    def _plans_for(client: Any, name: str) -> "_PlanCache":
+        """This strategy's plan cache on the client (client-lifetime, so
+        shared strategy singletons never pin content across sessions)."""
+        caches = client._strategy_plans
+        cache = caches.get(name)
+        if cache is None:
+            cache = _PlanCache()
+            caches[name] = cache
+        return cache
+
+    @staticmethod
+    def _poll_count(client: Any) -> int:
+        return max(client.profile.overhead.requests_per_sync - 1, 0)
+
+    @staticmethod
+    def _estimate_polls(client: Any) -> Tuple[int, int, int]:
+        """(up, down, count) for the auxiliary polls a transfer issues."""
+        count = SyncStrategy._poll_count(client)
+        if count == 0:
+            return 0, 0, 0
+        up, down = client.channel.estimate_exchange(
+            up_meta=POLL_META_UP, down_meta=POLL_META_DOWN)
+        return up * count, down * count, count
+
+    @staticmethod
+    def _estimate_payload_exchange(client: Any,
+                                   payload: int) -> Tuple[int, int]:
+        """Wire cost of the standard single metadata+payload exchange."""
+        overhead = client.profile.overhead
+        return client.channel.estimate_exchange(
+            up_payload=payload,
+            up_meta=overhead.meta_up + int(overhead.per_byte_factor * payload),
+            down_meta=overhead.meta_down)
+
+
+class _PlanCache:
+    """One-slot per-path memo tying an estimate to its transfer.
+
+    The adaptive selector estimates every candidate before picking one;
+    without this, the winner would redo its (signature/chunking) work in
+    :meth:`SyncStrategy.transfer`.  Entries are keyed by the *identity* of
+    the basis and target contents, so a stale plan can never be replayed
+    against different bytes.
+    """
+
+    def __init__(self) -> None:
+        self._slots: Dict[str, Tuple[Any, Any, Any]] = {}
+
+    def get(self, path: str, old: Any, new: Any) -> Optional[Any]:
+        slot = self._slots.get(path)
+        if slot is not None and slot[0] is old and slot[1] is new:
+            return slot[2]
+        return None
+
+    def put(self, path: str, old: Any, new: Any, plan: Any) -> None:
+        self._slots[path] = (old, new, plan)

@@ -1,0 +1,55 @@
+"""Full-file upload — the extracted pre-strategy default transfer path."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...chunking import chunk_data
+from ...content import Content
+from .base import StrategyEstimate, SyncStrategy
+
+
+class FullFileStrategy(SyncStrategy):
+    """Ship the whole (compressed, possibly chunked) file.
+
+    Delegates to the engine's ``_upload_full`` so the dedup negotiation,
+    chunked-transfer, and resilient-retry behaviour stay byte-identical
+    with the pre-refactor client — the differential battery pins this.
+    """
+
+    name = "full-file"
+    wire_names = ("upload",)
+
+    def applicable(self, client: Any, change: Any, content: Any) -> bool:
+        return True
+
+    def transfer(self, client: Any, change: Any, content: Any,
+                 lightweight: bool = False, in_batch: bool = False) -> float:
+        client.charge_cpu(content.size)
+        duration = client._upload_full(
+            change.path, content, lightweight=lightweight, in_batch=in_batch)
+        client.stats.full_file_syncs += 1
+        return duration
+
+    def estimate(self, client: Any, change: Any,
+                 content: Any) -> Optional[StrategyEstimate]:
+        profile = client.profile
+        if profile.dedup.enabled or client.retry is not None:
+            # Negotiation outcomes and per-unit retry framing depend on
+            # server/fault state the planner does not model; refuse to
+            # promise exactness rather than guess.
+            return None
+        unit_size = profile.storage_chunk_size or max(content.size, 1)
+        payload = sum(
+            profile.upload_compression.wire_size(Content(unit.data))
+            for unit in chunk_data(content.data, unit_size))
+        up, down, trips = self._estimate_polls(client)
+        main_up, main_down = self._estimate_payload_exchange(client, payload)
+        return StrategyEstimate(
+            up_bytes=up + main_up, down_bytes=down + main_down,
+            round_trips=trips + 1, cpu_units=content.size)
+
+
+#: Shared stateless instance — the engine's default full-file route and
+#: every strategy's fallback when it is not applicable.
+FULL_FILE = FullFileStrategy()

@@ -9,6 +9,9 @@ the client engine drives:
 * :meth:`upload_chunk` / :meth:`resolve` — content transfer or dedup hit;
 * :meth:`commit` — append a new file version;
 * :meth:`apply_delta` — the IDS mid-layer (GET + apply + PUT + DELETE);
+* :meth:`apply_cdc_delta` — the same mid-layer for content-defined chunks;
+* :meth:`reconcile` / :meth:`apply_reconciled` — two-round set
+  reconciliation against a user-wide CDC chunk index;
 * :meth:`download`, :meth:`delete_file`, :meth:`restore_version`.
 
 Traffic is *not* metered here: bytes cross the wire in the client engine,
@@ -20,10 +23,11 @@ stored bytes) used by the §7 tradeoff analyses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..chunking import fingerprint
-from ..delta import Delta, apply_delta as apply_rsync_delta
+from ..chunking import cdc_chunks, fingerprint
+from ..delta import CdcDelta, Delta, apply_cdc_delta as apply_cdc_stream
+from ..delta import apply_delta as apply_rsync_delta
 from ..simnet.faults import FaultKind
 from .accounts import AccountRegistry
 from .dedup import DedupConfig, DedupIndex
@@ -42,6 +46,8 @@ class ServerStats:
     bytes_received: int = 0
     dedup_bytes_saved: int = 0
     delta_applications: int = 0
+    cdc_delta_applications: int = 0
+    reconciliations: int = 0
     commits: int = 0
     requests_rejected: int = 0
     shards_sealed: int = 0
@@ -84,6 +90,15 @@ class CloudServer:
         #: its SERVER_UNAVAILABLE / RATE_LIMIT windows the front door answers
         #: every request with a transient error instead of serving it.
         self.faults = None
+        #: Per-(user, path) CDC digest index cache for set reconciliation,
+        #: keyed by the head version's md5 so an unchanged file is never
+        #: re-chunked across reconcile calls.
+        self._cdc_index_cache: Dict[Tuple[str, str],
+                                    Tuple[str, Dict[str, bytes]]] = {}
+        #: Open reconciliation sessions: (user, path) -> (ordered digest
+        #: manifest from round 1, digest -> bytes the server already holds).
+        self._recon_sessions: Dict[Tuple[str, str],
+                                   Tuple[List[str], Dict[str, bytes]]] = {}
         #: Optional trace recorder (duck-typed; see :mod:`repro.obs`).
         #: Server events are logical (dedup hits, brownout rejections) and
         #: carry no meter delta — the client side owns the wire.  With
@@ -241,6 +256,124 @@ class CloudServer:
             user, path, len(new_data), expected_md5, digests, keys, sizes)
         self._delete_stale(set(head.chunk_keys))
         return new_version
+
+    def apply_cdc_delta(self, user: str, path: str, cdelta: CdcDelta,
+                        expected_md5: str) -> FileVersion:
+        """Content-defined-chunk variant of :meth:`apply_delta`.
+
+        Same GET + apply + PUT + DELETE shape; the stream references
+        byte ranges of the basis (coalesced CDC chunk matches) instead of
+        fixed rsync blocks.
+        """
+        head = self.metadata.head(user, path)
+        old_data = self.chunks.fetch_many(list(head.chunk_keys))  # GETs
+        new_data = apply_cdc_stream(old_data, cdelta)
+        if fingerprint(new_data) != expected_md5:
+            raise IntegrityError("cdc delta application produced wrong content")
+        self.stats.cdc_delta_applications += 1
+
+        chunk_size = self.storage_chunk_size or max(len(new_data), 1)
+        digests, keys, sizes = self._store_content(user, new_data, chunk_size)
+        new_version = self.commit(
+            user, path, len(new_data), expected_md5, digests, keys, sizes)
+        self._delete_stale(set(head.chunk_keys))
+        return new_version
+
+    # -- set reconciliation ---------------------------------------------------
+
+    def reconcile(self, user: str, path: str,
+                  digests: Sequence[str]) -> List[str]:
+        """Round 1 of set reconciliation: which CDC chunks must be sent?
+
+        The client describes its new content as an ordered manifest of CDC
+        chunk digests; the server answers with the subset it cannot supply
+        from *any* of the user's live files.  The manifest and the resolved
+        server-side bytes are parked in an open session for
+        :meth:`apply_reconciled` (round 2).
+        """
+        self.accounts.ensure(user)
+        index = self._user_cdc_index(user)
+        known: Dict[str, bytes] = {}
+        missing: List[str] = []
+        for digest in digests:
+            if digest in known:
+                continue
+            data = index.get(digest)
+            if data is None:
+                if digest not in missing:
+                    missing.append(digest)
+            else:
+                known[digest] = data
+        self._recon_sessions[(user, path)] = (list(digests), known)
+        self.stats.reconciliations += 1
+        return missing
+
+    def apply_reconciled(self, user: str, path: str,
+                         supplied: Dict[str, bytes],
+                         expected_md5: str) -> FileVersion:
+        """Round 2 of set reconciliation: splice supplied + known chunks.
+
+        Reconstructs the new content in round-1 manifest order from the
+        client's supplied chunks plus the server-resident ones, verifies
+        the whole-file digest, and commits like :meth:`apply_delta`.
+        """
+        try:
+            manifest, known = self._recon_sessions.pop((user, path))
+        except KeyError:
+            raise NotFound(f"no open reconciliation for {user}:{path}")
+        for digest, data in supplied.items():
+            if fingerprint(data) != digest:
+                raise IntegrityError(
+                    "reconciled chunk does not match declared digest")
+        pieces: List[bytes] = []
+        for digest in manifest:
+            data = known.get(digest)
+            if data is None:
+                data = supplied.get(digest)
+            if data is None:
+                raise IntegrityError(
+                    f"reconciliation missing chunk {digest} for {path}")
+            pieces.append(data)
+        new_data = b"".join(pieces)
+        if fingerprint(new_data) != expected_md5:
+            raise IntegrityError("reconciliation produced wrong content")
+
+        old_keys: set = set()
+        try:
+            old_keys = set(self.metadata.head(user, path).chunk_keys)
+        except NotFound:
+            pass
+        chunk_size = self.storage_chunk_size or max(len(new_data), 1)
+        digests, keys, sizes = self._store_content(user, new_data, chunk_size)
+        new_version = self.commit(
+            user, path, len(new_data), expected_md5, digests, keys, sizes)
+        if old_keys:
+            self._delete_stale(old_keys)
+        return new_version
+
+    def _user_cdc_index(self, user: str) -> Dict[str, bytes]:
+        """Digest -> bytes over the CDC chunks of the user's live heads.
+
+        Rebuilt lazily per path, cached against the head md5 so repeated
+        reconciles only re-chunk files that actually changed.
+        """
+        index: Dict[str, bytes] = {}
+        live_paths = set(self.metadata.list_paths(user))
+        for cached_key in [key for key in self._cdc_index_cache
+                           if key[0] == user and key[1] not in live_paths]:
+            del self._cdc_index_cache[cached_key]
+        for a_path in sorted(live_paths):
+            head = self.metadata.head(user, a_path)
+            cached = self._cdc_index_cache.get((user, a_path))
+            if cached is not None and cached[0] == head.md5:
+                per_file = cached[1]
+            else:
+                content = self.chunks.fetch_many(list(head.chunk_keys))
+                per_file = {chunk.digest: chunk.data
+                            for chunk in cdc_chunks(content)}
+                self._cdc_index_cache[(user, a_path)] = (head.md5, per_file)
+            index.update(per_file)
+        return index
 
     def _store_content(self, user: str, data: bytes, chunk_size: int):
         """Chunk, dedup, and PUT content server-side (mid-layer internals)."""

@@ -822,3 +822,201 @@ def experiment10_backends(
             cells.append(run_backend_cell(backend, mix, files=files,
                                           seed=seed, link_spec=link_spec))
     return cells
+
+
+# ---------------------------------------------------------------------------
+# Experiment 11 — sync strategies × workloads × links (this repo's extension)
+# ---------------------------------------------------------------------------
+
+#: Stable sweep axes (strategy names match client.strategies.STRATEGY_NAMES).
+STRATEGIES = ("full-file", "fixed-delta", "cdc-delta", "set-reconcile",
+              "adaptive")
+STRATEGY_WORKLOADS = ("fresh", "scatter-edit", "clone")
+STRATEGY_LINKS = ("mn", "bj", "lte")
+
+
+def strategy_link(name: str) -> LinkSpec:
+    """Resolve one of the Experiment 11 link profiles by name."""
+    from ..simnet import bj_link, lte_link
+    links = {"mn": mn_link, "bj": bj_link, "lte": lte_link}
+    if name not in links:
+        raise ValueError(
+            f"unknown link {name!r} (one of {STRATEGY_LINKS})")
+    return links[name]()
+
+
+def strategy_profile() -> ServiceProfile:
+    """Synthetic "StratLab" profile isolating the transfer strategy choice.
+
+    Like RestLab (Experiment 10): no compression, no dedup, no profile
+    IDS, whole-file REST objects — the only moving part is the
+    :mod:`~repro.client.strategies` plug, so per-cell traffic differences
+    are attributable to the strategy alone.
+    """
+    from ..cloud import DedupConfig
+    from ..compress import NO_COMPRESSION
+    from ..client import OverheadProfile
+    from ..client.defer import FixedDefer
+
+    return ServiceProfile(
+        service="StratLab",
+        access=AccessMethod.PC,
+        delta_block=None,
+        upload_compression=NO_COMPRESSION,
+        download_compression=NO_COMPRESSION,
+        dedup=DedupConfig.none(),
+        storage_chunk_size=None,
+        overhead=OverheadProfile(meta_up=600, meta_down=300,
+                                 notify_down=200),
+        defer_factory=lambda: FixedDefer(2.0),
+    )
+
+
+def _strategy_workload(session: SyncSession, workload: str, files: int,
+                       seed: int) -> None:
+    """Drive one deterministic workload, identical across strategies.
+
+    Every operation is followed by a 30 s advance: long enough that each
+    file syncs alone (no cross-strategy batching divergence), short
+    enough that the connection stays warm — so per-cell traffic differs
+    only by what the strategy put on the wire.
+    """
+    import random
+    from ..content import Content
+
+    if workload == "fresh":
+        # Incompressible new content: nothing for any delta to match.
+        for index in range(files):
+            session.create_random_file(
+                f"docs/fresh-{index}.bin", 48 * KB + 16 * KB * index,
+                seed=7 * seed + index)
+            session.advance(30.0)
+        session.run_until_idle()
+    elif workload == "scatter-edit":
+        rng = random.Random(900_001 * seed + 17)
+        paths = []
+        for index in range(files):
+            path = f"docs/doc-{index}.bin"
+            session.create_random_file(
+                path, 192 * KB + 32 * KB * index, seed=11 * seed + index)
+            paths.append(path)
+            session.advance(30.0)
+        session.run_until_idle()
+        for _ in range(2):
+            for path in paths:
+                data = bytearray(session.folder.get(path).data)
+                for _ in range(3):
+                    at = rng.randrange(0, len(data) - 120)
+                    data[at:at + 120] = bytes(
+                        rng.getrandbits(8) for _ in range(120))
+                session.write_file(path, Content(bytes(data)))
+                session.advance(30.0)
+            session.run_until_idle()
+    elif workload == "clone":
+        bases = []
+        for index in range(files):
+            path = f"docs/base-{index}.bin"
+            session.create_random_file(
+                path, 128 * KB + 32 * KB * index, seed=13 * seed + index)
+            bases.append(path)
+            session.advance(30.0)
+        session.run_until_idle()
+        for index, base in enumerate(bases):
+            prefix = random_content(1 * KB, seed=101 * seed + index).data
+            clone = Content(prefix + session.folder.get(base).data)
+            session.create_file(f"docs/copy-{index}.bin", clone)
+            session.advance(30.0)
+        session.run_until_idle()
+    else:
+        raise ValueError(
+            f"unknown workload {workload!r} (one of {STRATEGY_WORKLOADS})")
+
+
+@dataclass(frozen=True)
+class StrategyCell:
+    """One (strategy, workload, link) point of the Experiment 11 sweep."""
+
+    strategy: str
+    workload: str
+    link: str
+    files: int
+    update_bytes: int
+    traffic: int
+    strategy_payload: int
+    round_trips: int
+    cpu_units: int
+
+    @property
+    def tue(self) -> float:
+        """TUE (Eq. 1); nan for an empty cell, inf for pure overhead."""
+        if self.update_bytes == 0:
+            return float("nan") if self.traffic == 0 else float("inf")
+        return self.traffic / self.update_bytes
+
+
+def run_strategy_cell(strategy_name: str, workload: str, link_name: str,
+                      files: int = 3, seed: int = 0,
+                      audit: bool = True) -> StrategyCell:
+    """One audited workload run under one explicit sync strategy.
+
+    With ``audit=True`` (the default) and no ambient trace hub, the run
+    is wrapped in a full conservation audit — including the
+    strategy-conservation invariant over the ``delta-exchange`` cost
+    ledger.  An ambient hub (``repro audit exp11``) is used as-is so its
+    owner audits the whole sweep at once.
+    """
+    from ..obs import current_hub, recording
+
+    if audit and current_hub() is None:
+        with recording(audit=True):
+            return _run_strategy_cell(
+                strategy_name, workload, link_name, files, seed)
+    return _run_strategy_cell(strategy_name, workload, link_name, files, seed)
+
+
+def _run_strategy_cell(strategy_name: str, workload: str, link_name: str,
+                       files: int, seed: int) -> StrategyCell:
+    from ..client import make_strategy
+
+    session = SyncSession(
+        strategy_profile(), link_spec=strategy_link(link_name),
+        strategy=make_strategy(strategy_name))
+    _strategy_workload(session, workload, files, seed)
+    ledger = session.client.strategy_ledger.values()
+    return StrategyCell(
+        strategy=strategy_name,
+        workload=workload,
+        link=link_name,
+        files=session.client.stats.files_synced,
+        update_bytes=session.data_update_bytes,
+        traffic=session.total_traffic,
+        strategy_payload=sum(t.payload for t in ledger),
+        round_trips=sum(t.exchanges for t in ledger),
+        cpu_units=sum(t.cpu_units for t in ledger),
+    )
+
+
+def experiment11_strategies(
+    strategies: Sequence[str] = STRATEGIES,
+    workloads: Sequence[str] = STRATEGY_WORKLOADS,
+    links: Sequence[str] = STRATEGY_LINKS,
+    files: int = 3,
+    seed: int = 0,
+    audit: bool = True,
+) -> List[StrategyCell]:
+    """Sweep TUE across strategies × workloads × links, every cell audited.
+
+    The headline claim: the adaptive selector's per-file choice from
+    exact cost estimates makes its TUE ≤ every static strategy's on every
+    workload × link cell — no single static choice wins everywhere
+    (full-file takes "fresh", the deltas take "scatter-edit",
+    reconciliation takes "clone"), but the selector never loses.
+    """
+    cells: List[StrategyCell] = []
+    for workload in workloads:
+        for link in links:
+            for strategy in strategies:
+                cells.append(run_strategy_cell(
+                    strategy, workload, link,
+                    files=files, seed=seed, audit=audit))
+    return cells

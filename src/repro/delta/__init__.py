@@ -1,5 +1,15 @@
 """rsync-style delta sync: rolling checksum, signatures, delta streams."""
 
+from .cdc_delta import (
+    CDC_STREAM_HEADER_BYTES,
+    CHUNK_REF_BYTES,
+    CdcDelta,
+    ChunkCopyOp,
+    ChunkLiteralOp,
+    apply_cdc_delta,
+    chunk_digest_map,
+    compute_cdc_delta,
+)
 from .delta import (
     COPY_TOKEN_BYTES,
     LITERAL_HEADER_BYTES,
@@ -23,11 +33,19 @@ from .signature import (
 
 __all__ = [
     "BlockSignature",
+    "CDC_STREAM_HEADER_BYTES",
+    "CHUNK_REF_BYTES",
     "COPY_TOKEN_BYTES",
+    "CdcDelta",
+    "ChunkCopyOp",
+    "ChunkLiteralOp",
     "CopyOp",
     "DEFAULT_BLOCK_SIZE",
     "Delta",
     "DeltaStats",
+    "apply_cdc_delta",
+    "chunk_digest_map",
+    "compute_cdc_delta",
     "FileSignature",
     "LITERAL_HEADER_BYTES",
     "LiteralOp",

@@ -90,6 +90,12 @@ def compute_delta(signature: FileSignature, new_data: bytes) -> Delta:
     instead of a shrinking-window roll.
     """
     block_size = signature.block_size
+    if not new_data:
+        # Explicit zero-length branch (the PR 7 empty-units convention):
+        # an empty target needs no scan and ships no ops, only the stream
+        # header wire_size accounts for.
+        return Delta(block_size=block_size,
+                     basis_length=signature.file_length, ops=[])
     ops: List[DeltaOp] = []
     literal_start = 0  # start of the current unmatched run
     position = 0

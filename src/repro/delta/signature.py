@@ -84,6 +84,12 @@ def compute_signature(data: bytes, block_size: int = DEFAULT_BLOCK_SIZE) -> File
     """Build the signature of a basis file."""
     if block_size <= 0:
         raise ValueError("block size must be positive")
+    if not data:
+        # Explicit zero-length branch (the PR 7 empty-units convention):
+        # an empty basis has no blocks — the block size is validated above
+        # and never silently floored — and the signature still costs its
+        # stream header on the wire.
+        return FileSignature(block_size=block_size, file_length=0, blocks=[])
     blocks = []
     for index, offset in enumerate(range(0, len(data), block_size)):
         piece = data[offset:offset + block_size]

@@ -38,11 +38,13 @@ from .recorder import (
     CONNECT,
     DEDUP_HIT,
     DEFER_WINDOW,
+    DELTA_EXCHANGE,
     EXCHANGE,
     FAULT_EPISODE,
     METER_RESET,
     RETRY_ATTEMPT,
     SPAN_KINDS,
+    STRATEGY_SELECT,
     SYNC_TRANSACTION,
     WIRE_KINDS,
     PhaseStat,
@@ -62,12 +64,14 @@ __all__ = [
     "ConservationAuditor",
     "DEDUP_HIT",
     "DEFER_WINDOW",
+    "DELTA_EXCHANGE",
     "EXCHANGE",
     "FAULT_EPISODE",
     "METER_RESET",
     "PhaseStat",
     "RETRY_ATTEMPT",
     "SPAN_KINDS",
+    "STRATEGY_SELECT",
     "SYNC_TRANSACTION",
     "Span",
     "TraceHub",

@@ -29,6 +29,14 @@ a trustworthy stand-in for the paper's Wireshark capture:
     payload, and across the trace the ledger totals equal the payload of
     the ``bundle-commit`` wire exchanges — no byte rides a bundle
     unattributed.
+``strategy-conservation``
+    Every strategy-routed transfer explains its payload: each
+    ``delta-exchange`` logical span's claimed ``payload`` is non-negative
+    and bounded by its measured ``wire_bytes``, and per strategy the
+    ledger sums equal the upstream payload of the wire exchanges the
+    strategy declared it speaks through (its ``wire_names``) — no byte
+    rides a sync strategy unattributed, and no two strategies claim the
+    same exchange vocabulary.
 ``replay-conservation`` (:func:`verify_replay_report`)
     A :class:`~repro.trace.replay.ReplayReport`'s per-user counters sum
     to its merged totals and every decomposition stays within bounds;
@@ -77,6 +85,7 @@ class ConservationAuditor:
         violations.extend(self._check_sum_conservation(recorder))
         violations.extend(self._check_kind_conservation(recorder))
         violations.extend(self._check_bundle_conservation(recorder))
+        violations.extend(self._check_strategy_conservation(recorder))
         return violations
 
     def audit(self, recorder: TraceRecorder) -> None:
@@ -383,6 +392,82 @@ class ConservationAuditor:
                 f"per-file ledgers explain {ledger_total} bundled wire "
                 f"bytes but bundle-commit exchanges carried {wire_total}",
                 session=recorder.label))
+        return out
+
+    def _check_strategy_conservation(self, recorder: TraceRecorder
+                                     ) -> List[AuditViolation]:
+        """Strategy-routed transfers must explain their payload bytes.
+
+        Each ``delta-exchange`` logical span claims, model-side, the
+        upstream payload its transfer shipped (``payload``), the exchange
+        names carrying it (``wire_names``), plus its cost vector
+        (``wire_bytes``, ``round_trips``, ``cpu_units``).  Per strategy,
+        the claimed payloads must sum to the ``up_payload`` of the wire
+        exchanges bearing those names — two independent accounting paths
+        (the client's call sites vs. the channel's span attributes) that
+        only agree when every byte is attributed to exactly one strategy.
+        """
+        out: List[AuditViolation] = []
+        ledger_sums: dict = {}
+        wire_names: dict = {}
+        claimed_by: dict = {}
+        for span in recorder.spans:
+            if span.kind != "delta-exchange":
+                continue
+            strategy = span.attrs.get("strategy", span.name)
+            payload = span.attrs.get("payload")
+            names = span.attrs.get("wire_names")
+            if payload is None or names is None:
+                out.append(AuditViolation(
+                    "strategy-conservation",
+                    "delta-exchange span lacks payload/wire_names attrs",
+                    span, recorder.label))
+                continue
+            if payload < 0:
+                out.append(AuditViolation(
+                    "strategy-conservation",
+                    f"negative claimed payload {payload}", span,
+                    recorder.label))
+            wire_bytes = span.attrs.get("wire_bytes", 0)
+            if wire_bytes < payload:
+                out.append(AuditViolation(
+                    "strategy-conservation",
+                    f"claimed payload {payload} exceeds measured wire "
+                    f"bytes {wire_bytes}", span, recorder.label))
+            if span.attrs.get("round_trips", 0) < 0 \
+                    or span.attrs.get("cpu_units", 0) < 0:
+                out.append(AuditViolation(
+                    "strategy-conservation",
+                    "negative round_trips/cpu_units in cost vector",
+                    span, recorder.label))
+            ledger_sums[strategy] = ledger_sums.get(strategy, 0) + payload
+            wire_names.setdefault(strategy, set()).update(names)
+            for name in names:
+                owner = claimed_by.setdefault(name, strategy)
+                if owner != strategy:
+                    out.append(AuditViolation(
+                        "strategy-conservation",
+                        f"exchange name {name!r} claimed by both "
+                        f"{owner!r} and {strategy!r}", span,
+                        recorder.label))
+        if not ledger_sums:
+            return out
+        wire_sums: dict = {}
+        for span in recorder.spans:
+            if span.kind != "exchange" \
+                    or span.attrs.get("op") != "exchange":
+                continue
+            wire_sums[span.name] = (wire_sums.get(span.name, 0)
+                                    + span.attrs.get("up_payload", 0))
+        for strategy, claimed in sorted(ledger_sums.items()):
+            carried = sum(wire_sums.get(name, 0)
+                          for name in sorted(wire_names[strategy]))
+            if claimed != carried:
+                out.append(AuditViolation(
+                    "strategy-conservation",
+                    f"strategy {strategy!r} ledgers claim {claimed} "
+                    f"payload bytes but its exchanges carried {carried}",
+                    session=recorder.label))
         return out
 
 

@@ -10,8 +10,9 @@ families:
   model inputs (payload/wire byte counts) needed to recompute the
   packetisation arithmetic independently;
 * **logical spans** (``retry-attempt``, ``defer-window``, ``dedup-hit``,
-  ``fault-episode``, ``sync-transaction``, ``meter-reset``) — zero-cost
-  markers that explain *why* the wire spans look the way they do.
+  ``fault-episode``, ``sync-transaction``, ``meter-reset``,
+  ``strategy-select``, ``delta-exchange``) — zero-cost markers that
+  explain *why* the wire spans look the way they do.
 
 Emitters never import this module: they duck-type on an injected recorder
 object and use plain-string kinds, so tracing adds a single ``is None``
@@ -43,12 +44,14 @@ METER_RESET = "meter-reset"
 CONFLICT_RESOLVED = "conflict-resolved"
 FANOUT_NOTIFICATION = "fanout-notification"
 BUNDLE_COMMIT = "bundle-commit"
+STRATEGY_SELECT = "strategy-select"
+DELTA_EXCHANGE = "delta-exchange"
 
 WIRE_KINDS = frozenset({CONNECT, EXCHANGE})
 SPAN_KINDS = WIRE_KINDS | frozenset({
     RETRY_ATTEMPT, DEFER_WINDOW, DEDUP_HIT, FAULT_EPISODE,
     SYNC_TRANSACTION, METER_RESET, CONFLICT_RESOLVED, FANOUT_NOTIFICATION,
-    BUNDLE_COMMIT,
+    BUNDLE_COMMIT, STRATEGY_SELECT, DELTA_EXCHANGE,
 })
 
 

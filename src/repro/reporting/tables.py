@@ -105,3 +105,50 @@ def fmt_tue(value: float, precision: int = 2) -> str:
     if value == float("inf"):
         return "inf"
     return f"{value:.{precision}f}"
+
+
+def render_strategy_matrix(cells: Sequence,
+                           title: Optional[str] = None) -> str:
+    """The Experiment 11 frontier matrix: workload × link rows, one TUE
+    column per strategy, and the per-row winner.
+
+    The Winner column names the cheapest *static* strategy, so a glance
+    shows no static column winning every row; a ``*`` marks the adaptive
+    column wherever its TUE matches or beats that winner's — the
+    dominance contract says it always should.
+    """
+    strategies: List[str] = []
+    for cell in cells:
+        if cell.strategy not in strategies:
+            strategies.append(cell.strategy)
+    grid: dict = {}
+    row_keys: List[Tuple[str, str]] = []
+    for cell in cells:
+        key = (cell.workload, cell.link)
+        if key not in grid:
+            grid[key] = {}
+            row_keys.append(key)
+        grid[key][cell.strategy] = cell
+    rows = []
+    for workload, link in row_keys:
+        row_cells = grid[(workload, link)]
+        statics = [c for c in row_cells.values() if c.strategy != "adaptive"]
+        best = min(statics or row_cells.values(),
+                   key=lambda c: (c.tue if c.tue == c.tue else float("inf"),
+                                  c.strategy))
+        row = [workload, link]
+        for name in strategies:
+            cell = row_cells.get(name)
+            if cell is None:
+                row.append("—")
+                continue
+            text = fmt_tue(cell.tue, precision=3)
+            if name == "adaptive" and (
+                    cell.tue <= best.tue or cell.tue != cell.tue):
+                text += "*"
+            row.append(text)
+        row.append(best.strategy)
+        rows.append(row)
+    return render_table(
+        ["Workload", "Link"] + list(strategies) + ["Winner"],
+        rows, title=title)

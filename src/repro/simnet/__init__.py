@@ -41,6 +41,7 @@ from .link import (
     Link,
     LinkSpec,
     bj_link,
+    lte_link,
     mn_link,
     packetize,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "TrafficRecord",
     "TrafficTotals",
     "bj_link",
+    "lte_link",
     "make_event_queue",
     "mn_link",
     "packetize",

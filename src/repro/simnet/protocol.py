@@ -231,6 +231,28 @@ class Channel:
         self._touch(end_time)
         return duration
 
+    def estimate_exchange(self, up_payload: int = 0, down_payload: int = 0,
+                          up_meta: int = 0, down_meta: int = 0):
+        """Exact ``(up_total, down_total)`` wire bytes :meth:`exchange`
+        would meter for these inputs, without performing it.
+
+        Replicates the packetisation arithmetic byte for byte — framing
+        headers, per-packet costs, the reverse ACK streams, and the base
+        link's expected retransmissions — assuming a warm connection and
+        no active fault episode.  This is the planning primitive the
+        adaptive sync-strategy selector scores candidates with; a test
+        pins estimate == metered for executed exchanges.
+        """
+        costs = self.costs
+        up_wire = up_payload + costs.request_header + up_meta
+        down_wire = down_payload + costs.response_header + down_meta
+        up_hdr, up_acks = self.link.wire_cost(up_wire)
+        down_hdr, down_acks = self.link.wire_cost(down_wire)
+        up_retx = self.link.retransmit_overhead(up_wire + up_hdr, None)
+        down_retx = self.link.retransmit_overhead(down_wire + down_hdr, None)
+        return (up_wire + up_hdr + down_acks + up_retx,
+                down_wire + down_hdr + up_acks + down_retx)
+
     def _interrupt(self, start: float, duration: float, episode,
                    kind: str, gross_up: int, gross_down: int) -> TransferInterrupted:
         """Abort an exchange swallowed by a blackout; meter the waste."""

@@ -51,6 +51,23 @@ def test_untraced_experiment_matches_traced_byte_for_byte():
     assert traced == plain
 
 
+def test_audited_experiment11_smoke():
+    """Experiment 11 cells under one ambient hub: the full conservation
+    audit must hold, including strategy-conservation over the
+    per-strategy delta-exchange cost ledger."""
+    from repro.core import run_strategy_cell
+
+    with recording() as hub:
+        for name in ("full-file", "set-reconcile", "adaptive"):
+            cell = run_strategy_cell(name, "scatter-edit", "mn",
+                                     files=2, seed=3)
+            assert cell.traffic > 0
+    audit_hub(hub)
+    kinds = {s.kind for rec in hub.recorders for s in rec.spans}
+    assert "delta-exchange" in kinds
+    assert "strategy-select" in kinds
+
+
 def test_audited_two_worker_parallel_replay():
     """The merged parallel report passes conservation and matches the
     sequential replay exactly."""

@@ -207,3 +207,32 @@ def test_audit_exp10_traces_the_bundled_commit(capsys):
 def test_list_includes_backends(capsys):
     out = run(capsys, "list")
     assert "backends" in out
+
+
+def test_strategies_prints_frontier_and_dominance(capsys):
+    out = run(capsys, "strategies", "--files", "2")
+    for name in ("full-file", "fixed-delta", "cdc-delta", "set-reconcile",
+                 "adaptive"):
+        assert name in out
+    for workload in ("fresh", "scatter-edit", "clone"):
+        assert workload in out
+    assert "adaptive selector TUE <= every static strategy" in out
+    assert ": yes" in out
+
+
+def test_strategies_audited_run_passes(capsys):
+    out = run(capsys, "strategies", "--files", "2", "--audit")
+    assert "conservation audit passed" in out
+    assert "strategy-conservation" in out
+
+
+def test_audit_exp11_traces_the_strategy_ledger(capsys):
+    out = run(capsys, "audit", "exp11")
+    assert "conservation audit passed" in out
+    assert "strategy-select" in out
+    assert "recon-sketch" in out
+
+
+def test_list_includes_strategies(capsys):
+    out = run(capsys, "list")
+    assert "strategies" in out

@@ -145,6 +145,53 @@ def test_empty_new_file():
     assert delta.ops == []
 
 
+def test_signature_size_zero_explicit_branch():
+    """An empty basis takes the explicit zero-length branch: no blocks,
+    the requested block size preserved (never floored), header-only wire."""
+    for block_size in (1, 512, 10 * 1024):
+        signature = compute_signature(b"", block_size)
+        assert signature.blocks == []
+        assert signature.file_length == 0
+        assert signature.block_size == block_size
+        assert signature.wire_size == 16  # header only
+    delta = compute_delta(compute_signature(b"", 512), b"")
+    assert delta.ops == []
+    assert delta.wire_size == 8  # stream header only
+    assert apply_delta(b"", delta) == b""
+
+
+def test_signature_size_one():
+    """A one-byte basis is one short block, matchable like any other."""
+    signature = compute_signature(b"x", 512)
+    assert [(b.index, b.length) for b in signature.blocks] == [(0, 1)]
+    assert signature.file_length == 1
+    delta = compute_delta(signature, b"x")
+    assert apply_delta(b"x", delta) == b"x"
+    assert delta.literal_bytes <= 1
+    # Size 1 -> 0 and 0 -> 1 round-trip through the same explicit branches.
+    assert apply_delta(b"x", compute_delta(signature, b"")) == b""
+    empty_sig = compute_signature(b"", 512)
+    assert apply_delta(b"", compute_delta(empty_sig, b"y")) == b"y"
+
+
+def test_cdc_delta_sizes_zero_and_one():
+    """The CDC codec's zero-length branches mirror the rsync ones."""
+    from repro.delta import apply_cdc_delta, chunk_digest_map, compute_cdc_delta
+
+    assert chunk_digest_map(b"") == {}
+    empty = compute_cdc_delta(b"", b"")
+    assert empty.ops == []
+    assert apply_cdc_delta(b"", empty) == b""
+    one_up = compute_cdc_delta(b"", b"z")
+    assert apply_cdc_delta(b"", one_up) == b"z"
+    one_down = compute_cdc_delta(b"z", b"")
+    assert one_down.ops == []
+    assert apply_cdc_delta(b"z", one_down) == b""
+    same = compute_cdc_delta(b"z", b"z")
+    assert apply_cdc_delta(b"z", same) == b"z"
+    assert same.literal_bytes <= 1
+
+
 def test_apply_delta_wrong_basis_rejected():
     old = random_content(1000, seed=14).data
     delta = compute_delta(compute_signature(old, 100), old)

@@ -1,0 +1,242 @@
+"""Unit tests for the pluggable sync strategies and their cost ledger.
+
+The strategy layer's contract has three independently checkable parts:
+
+* every transfer reports an honest ``(wire_bytes, round_trips,
+  cpu_units)`` cost vector into ``client.strategy_ledger`` — traced or
+  not;
+* a strategy's :meth:`estimate` is *byte-exact* under a warm connection
+  (that exactness is what makes the adaptive selector's greedy choice a
+  dominance argument, not a heuristic);
+* the ``strategy-conservation`` auditor invariant actually bites when a
+  ledger lies.
+"""
+
+import pytest
+
+from repro.client import (
+    AccessMethod,
+    SyncSession,
+    make_strategy,
+    service_profile,
+    AdaptiveSelector,
+    FixedBlockDeltaStrategy,
+    FullFileStrategy,
+    SetReconcileStrategy,
+    STRATEGY_NAMES,
+)
+from repro.client.engine import PendingChange
+from repro.cloud import NotFound
+from repro.content import Content, random_content
+from repro.core import strategy_link, strategy_profile
+from repro.obs import recording
+from repro.obs.audit import ConservationAuditor
+from repro.units import KB
+
+
+def stratlab(strategy=None, link="mn"):
+    return SyncSession(strategy_profile(), link_spec=strategy_link(link),
+                       strategy=strategy)
+
+
+def spans_of(hub, kind):
+    return [span for recorder in hub.recorders for span in recorder.spans
+            if span.kind == kind]
+
+
+def test_make_strategy_builds_every_name_and_rejects_unknown():
+    for name in STRATEGY_NAMES:
+        assert make_strategy(name).name == name
+    with pytest.raises(ValueError):
+        make_strategy("telepathy")
+
+
+def test_ledger_accumulates_cost_vectors_per_strategy():
+    session = stratlab(strategy=FixedBlockDeltaStrategy())
+    session.create_random_file("a.bin", 64 * KB, seed=1)
+    session.run_until_idle()
+    session.advance(30.0)
+    session.modify_random_byte("a.bin", seed=2)
+    session.run_until_idle()
+    ledger = session.client.strategy_ledger
+    # The creation falls back to full-file (no shadow yet), the edit
+    # rides the pinned delta strategy — both tallies must be non-trivial.
+    assert set(ledger) == {"full-file", "fixed-delta"}
+    for tally in ledger.values():
+        assert tally.payload > 0
+        assert tally.exchanges >= 1
+        assert tally.cpu_units > 0
+
+
+def test_ledger_is_identical_traced_and_untraced():
+    def run():
+        session = stratlab(strategy=AdaptiveSelector())
+        session.create_random_file("a.bin", 96 * KB, seed=3)
+        session.run_until_idle()
+        session.advance(30.0)
+        session.append("a.bin", random_content(KB, seed=4))
+        session.run_until_idle()
+        return {name: (t.payload, t.exchanges, t.cpu_units)
+                for name, t in session.client.strategy_ledger.items()}
+
+    untraced = run()
+    with recording(audit=True):
+        traced = run()
+    assert traced == untraced
+
+
+def test_estimate_is_byte_exact_under_warm_connection():
+    """est_wire stamped by the selector == the measured meter delta of the
+    transfer it chose, whenever no handshake interleaves (30 s gap < the
+    55 s keep-alive)."""
+    with recording() as hub:
+        session = stratlab(strategy=AdaptiveSelector())
+        session.create_random_file("a.bin", 128 * KB, seed=5)
+        session.run_until_idle()
+        session.advance(30.0)
+        session.modify_random_byte("a.bin", seed=6)
+        session.run_until_idle()
+    selects = spans_of(hub, "strategy-select")
+    transfers = {span.attrs["path"]: span
+                 for span in spans_of(hub, "delta-exchange")
+                 if span.start >= selects[-1].start}
+    chosen = selects[-1]
+    measured = transfers[chosen.attrs["path"]]
+    assert measured.attrs["strategy"] == chosen.attrs["chosen"]
+    assert measured.attrs["wire_bytes"] == chosen.attrs["est_wire"]
+    assert measured.attrs["round_trips"] == chosen.attrs["est_round_trips"]
+
+
+def test_adaptive_picks_the_frontier_winner_per_workload():
+    session = stratlab(strategy=AdaptiveSelector())
+    # Fresh create: only full-file / set-reconcile apply; whole content is
+    # new so the sketch round trip buys nothing.
+    session.create_random_file("base.bin", 128 * KB, seed=7)
+    session.run_until_idle()
+    assert set(session.client.strategy_ledger) == {"full-file"}
+    # Scattered in-place edit: a delta strategy must win.
+    session.advance(30.0)
+    session.modify_random_byte("base.bin", seed=8)
+    session.run_until_idle()
+    assert {"fixed-delta", "cdc-delta"} & set(session.client.strategy_ledger)
+    # Near-clone of existing content: reconciliation must win.
+    session.advance(30.0)
+    prefix = random_content(KB, seed=9).data
+    clone = Content(prefix + session.folder.get("base.bin").data)
+    session.create_file("copy.bin", clone)
+    session.run_until_idle()
+    assert "set-reconcile" in session.client.strategy_ledger
+
+
+def test_recon_client_mirror_agrees_with_server_index():
+    """Single-writer contract: the digests the planner predicts missing
+    are exactly what the server's reconcile answers."""
+    session = stratlab(strategy=AdaptiveSelector())
+    session.create_random_file("base.bin", 96 * KB, seed=10)
+    session.run_until_idle()
+    client = session.client
+    strategy = SetReconcileStrategy()
+    clone = Content(random_content(2 * KB, seed=11).data
+                    + session.folder.get("base.bin").data)
+    plan = strategy._plan(client, "copy.bin", clone)
+    assert plan.missing  # the fresh prefix produces at least one new chunk
+    assert len(plan.missing) < len(plan.digests)  # the clone tail dedups
+    answered = client.server.reconcile(client.user, "copy.bin", plan.digests)
+    assert answered == plan.missing
+
+
+def test_full_file_estimate_refuses_inexact_profiles():
+    """Under dedup (or unit retry) the full-file wire bytes depend on
+    server state the estimator does not model — it must abstain rather
+    than guess, leaving the selector's dominance argument intact."""
+    change = PendingChange(path="x.bin", created=True)
+    content = random_content(8 * KB, seed=12)
+    dedup_client = SyncSession("Dropbox", AccessMethod.PC).client
+    assert dedup_client.profile.dedup.enabled
+    assert FullFileStrategy().estimate(dedup_client, change, content) is None
+    exact_client = stratlab().client
+    estimate = FullFileStrategy().estimate(exact_client, change, content)
+    assert estimate is not None
+    assert estimate.wire_bytes > content.size
+
+
+def test_strategy_select_span_lists_considered_candidates():
+    with recording() as hub:
+        session = stratlab(strategy=AdaptiveSelector())
+        session.create_random_file("a.bin", 32 * KB, seed=13)
+        session.run_until_idle()
+    span = spans_of(hub, "strategy-select")[-1]
+    names = [entry[0] for entry in span.attrs["considered"]]
+    assert span.attrs["chosen"] in names
+    assert len(names) >= 2  # full-file and set-reconcile both bid
+
+
+def tampered_violations(mutate):
+    """Run one audited-clean cell, apply ``mutate`` to its recorder's
+    spans, and return the auditor's strategy-conservation findings."""
+    with recording() as hub:
+        session = stratlab(strategy=FixedBlockDeltaStrategy())
+        session.create_random_file("a.bin", 48 * KB, seed=14)
+        session.run_until_idle()
+        session.advance(30.0)
+        session.modify_random_byte("a.bin", seed=15)
+        session.run_until_idle()
+    (recorder,) = hub.recorders
+    assert ConservationAuditor().verify(recorder) == []
+    mutate(recorder.spans)
+    return [v for v in ConservationAuditor().verify(recorder)
+            if v.invariant == "strategy-conservation"]
+
+
+def ledger_spans(spans):
+    return [span for span in spans if span.kind == "delta-exchange"]
+
+
+def test_audit_catches_inflated_ledger_payload():
+    def mutate(spans):
+        ledger_spans(spans)[-1].attrs["payload"] += 1
+
+    assert tampered_violations(mutate)
+
+
+def test_audit_catches_payload_exceeding_wire_bytes():
+    def mutate(spans):
+        span = ledger_spans(spans)[-1]
+        span.attrs["payload"] = span.attrs["wire_bytes"] + 1
+
+    assert tampered_violations(mutate)
+
+
+def test_audit_catches_missing_cost_attrs():
+    def mutate(spans):
+        del ledger_spans(spans)[-1].attrs["payload"]
+
+    assert tampered_violations(mutate)
+
+
+def test_audit_catches_cross_strategy_exchange_claim():
+    def mutate(spans):
+        # The delta strategy claims the full-file upload exchange too:
+        # those bytes would be attributed twice.
+        for span in ledger_spans(spans):
+            if span.attrs["strategy"] == "fixed-delta":
+                span.attrs["wire_names"] = ["delta-sync", "upload"]
+
+    assert tampered_violations(mutate)
+
+
+def test_delete_after_rename_onto_deleted_path_tombstones_both():
+    """Regression (found by the stateful battery while differential-testing
+    this refactor): deleting a file that a pending rename just landed on
+    must tombstone the rename *source* as well."""
+    session = SyncSession("Dropbox", AccessMethod.PC)
+    session.create_file("a.bin", random_content(4 * KB, seed=16))
+    session.create_file("c.bin", random_content(4 * KB, seed=17))
+    session.run_until_idle()
+    session.delete_file("a.bin")
+    session.folder.rename("c.bin", "a.bin")
+    session.delete_file("a.bin")
+    session.run_until_idle()
+    for path in ("a.bin", "c.bin"):
+        with pytest.raises(NotFound):
+            session.server.download("user1", path)
